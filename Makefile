@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures: bench
+	@cat benchmarks/results/*.txt
+
+examples:
+	@for f in examples/*.py; do echo "=== $$f"; python $$f; done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module regenerates one table or figure of the paper. The
+figure-style ASCII tables are collected through :func:`record_report` and
+printed in the terminal summary (so ``pytest benchmarks/ --benchmark-only``
+shows them even with output capture on), as well as written to
+``benchmarks/results/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a rendered figure table for the terminal summary."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper figures (reproduced)")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

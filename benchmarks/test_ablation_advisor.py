@@ -1,0 +1,111 @@
+"""Ablation: the §6.3 cost-based advisor vs the structure-only planner.
+
+The paper closes by calling for "a cost-based optimizer that is aware of
+both query structure and the underlying data characteristics". This
+bench runs both deciders across the regimes of Section 6.2 — dangling-
+heavy synthetic data (toolkit territory), low-multiplicity TPC-style
+data (BASELINE territory), small non-temporal outputs (JOINFIRST
+territory) — and scores each pick against the measured truth.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.reporting import render_series
+from repro.core.advisor import advise
+from repro.core.errors import ReproError
+from repro.core.interval import Interval
+from repro.core.planner import plan
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.workloads import tpc_bih
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+from conftest import record_report
+
+CANDIDATES = ["baseline", "timefirst", "hybrid", "hybrid-interval", "joinfirst"]
+
+
+def scenario_dangling_star():
+    q = JoinQuery.star(4)
+    return q, generate(q, SyntheticConfig(n_dangling=150, n_results=40, seed=12))
+
+
+def scenario_tpc3():
+    q = tpc_bih.q_tpc3()
+    return q, tpc_bih.query_database(q, tpc_bih.TPCBiHConfig(n_customers=80, seed=9))
+
+
+def scenario_sparse_line():
+    q = JoinQuery.line(3)
+    db = {}
+    for name in q.edge_names:
+        rows = [((f"{name}v{j}", f"{name}w{j}"), Interval(j, j + 4)) for j in range(150)]
+        db[name] = TemporalRelation(name, q.edge(name), rows)
+    return q, db
+
+
+SCENARIOS = {
+    "dangling_star": scenario_dangling_star,
+    "tpc3_low_multiplicity": scenario_tpc3,
+    "sparse_line": scenario_sparse_line,
+}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_advisor_vs_planner(benchmark):
+    table = {}
+
+    def run():
+        for label, builder in SCENARIOS.items():
+            query, db = builder()
+            timings = {}
+            for name in CANDIDATES:
+                fn = get_algorithm(name)
+                try:
+                    start = time.perf_counter()
+                    fn(query, db)
+                    timings[name] = time.perf_counter() - start
+                except ReproError:
+                    continue
+            best = min(timings, key=timings.get)
+            planner_pick = plan(query).algorithm
+            advisor_pick = advise(query, db).best
+            table[label] = {
+                "best": best,
+                "planner": planner_pick,
+                "advisor": advisor_pick,
+                "planner_penalty": timings[planner_pick] / timings[best],
+                "advisor_penalty": timings[advisor_pick] / timings[best],
+            }
+        return table
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = list(table)
+    record_report(
+        "ablation_advisor",
+        render_series(
+            "Structure-only planner vs data-aware advisor "
+            "(penalty = pick's time / true best's time)",
+            labels,
+            {
+                "planner_penalty": [table[l]["planner_penalty"] for l in labels],
+                "advisor_penalty": [table[l]["advisor_penalty"] for l in labels],
+            },
+            x_label="scenario",
+        )
+        + "\n"
+        + "\n".join(
+            f"{l}: best={table[l]['best']}, planner={table[l]['planner']}, "
+            f"advisor={table[l]['advisor']}"
+            for l in labels
+        ),
+    )
+    # Both deciders must avoid catastrophic picks (>25x) everywhere, and
+    # the advisor must be sane on the regime the planner cannot see
+    # (the sparse line, where JOINFIRST-style costs are tiny).
+    for label, row in table.items():
+        assert row["planner_penalty"] < 25, (label, row)
+        assert row["advisor_penalty"] < 25, (label, row)

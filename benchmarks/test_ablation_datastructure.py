@@ -1,0 +1,76 @@
+"""Ablation: hashed vs comparison-model §3.2 structures.
+
+The paper analyzes the Theorem 6 structure in the comparison model
+(BST indexes + t⁺ min-heaps, O(log N) per operation); the production
+state here uses hash maps (expected O(1)). Both are exact; this bench
+measures the constant-factor gap on a star-join sweep and checks both
+scale near-linearly.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.harness import scaling_exponent
+from repro.bench.reporting import render_series
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+
+from conftest import record_report
+
+SIZES = [400, 800, 1600, 3200]
+
+
+def star_instance(n):
+    q = JoinQuery.star(3)
+    db = {}
+    for i in (1, 2, 3):
+        rows = [
+            ((j, f"h{j % (n // 8 + 1)}"), Interval(j % 97, j % 97 + 40))
+            for j in range(n)
+        ]
+        db[f"R{i}"] = TemporalRelation(f"R{i}", (f"x{i}", "y"), rows)
+    return q, db
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_hashed_vs_comparison_model(benchmark):
+    results = {}
+
+    def run():
+        for name in ["timefirst", "timefirst-cm"]:
+            fn = get_algorithm(name)
+            q, db = star_instance(SIZES[0])
+            fn(q, db)  # warm caches off the clock
+            times = []
+            for n in SIZES:
+                q, db = star_instance(n)
+                best = float("inf")
+                for _ in range(2):
+                    start = time.perf_counter()
+                    out = fn(q, db)
+                    best = min(best, time.perf_counter() - start)
+                times.append(best)
+            results[name] = (times, len(out))
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(
+        "ablation_datastructure",
+        render_series(
+            "Hashed vs comparison-model hierarchical state (star sweep)",
+            SIZES,
+            {name: times for name, (times, _) in results.items()},
+            x_label="N",
+        ),
+    )
+    hashed_times, hashed_k = results["timefirst"]
+    cm_times, cm_k = results["timefirst-cm"]
+    assert hashed_k == cm_k  # same answers
+    # Both near-linear (the log factor hides in the noise band).
+    assert scaling_exponent(SIZES, hashed_times) < 1.7
+    assert scaling_exponent(SIZES, cm_times) < 1.8
+    # The comparison model pays a constant factor, not an asymptotic one.
+    assert cm_times[-1] < 25 * hashed_times[-1]

@@ -1,0 +1,62 @@
+"""Ablation: HYBRID's decomposition choice (fhtw GHD vs hierarchical GHD).
+
+Theorem 12's exponent is min(fhtw + 1, hhtw); the ``mode`` knob of
+:func:`hybrid_join` forces one side or the other. On cycle joins the two
+often coincide in width but differ in the derived query handed to
+TIMEFIRST — the hierarchical GHD enables the §3.2 structure, the fhtw
+GHD falls back to the generic sweep. This bench shows the gap, and that
+``auto`` never loses to either forced mode by more than noise.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.hybrid import hybrid_join
+from repro.bench.harness import Measurement
+from repro.bench.reporting import render_table
+from repro.core.query import JoinQuery
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+from conftest import record_report
+
+CONFIG = SyntheticConfig(n_dangling=250, n_results=60, seed=31)
+MODES = ["auto", "fhtw", "hierarchical"]
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("qname,query", [
+    ("C4", JoinQuery.cycle(4)),
+    ("C5", JoinQuery.cycle(5)),
+])
+def test_hybrid_ghd_modes(benchmark, qname, query):
+    db = generate(query, CONFIG)
+    rows = {}
+
+    def run():
+        for mode in MODES:
+            start = time.perf_counter()
+            result = hybrid_join(query, db, mode=mode)
+            elapsed = time.perf_counter() - start
+            rows[mode] = [
+                Measurement(
+                    algorithm=f"mode={mode}", seconds=elapsed, peak_bytes=0,
+                    result_count=len(result), input_size=query.input_size(db),
+                    tau=0,
+                )
+            ]
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(
+        f"ablation_hybrid_ghd_{qname}",
+        render_table(
+            f"HYBRID decomposition modes on synthetic {qname}",
+            rows, metric="seconds", x_label="mode",
+        ),
+    )
+    counts = {ms[0].result_count for ms in rows.values()}
+    assert len(counts) == 1, counts
+    auto = rows["auto"][0].seconds
+    best_forced = min(rows["fhtw"][0].seconds, rows["hierarchical"][0].seconds)
+    assert auto < 5 * best_forced

@@ -1,0 +1,123 @@
+"""Figure 4 validation: measured scaling exponents vs the theory table.
+
+The paper's complexity summary (Figure 4) promises:
+
+* hierarchical temporal joins in O(N log N + K)  → measured exponent ≈ 1
+  when K = Θ(N);
+* the join-first / pairwise strategies degrade to the intermediate- or
+  match-count growth, quadratic on adversarial instances → exponent ≈ 2.
+
+We sweep N on instances engineered to keep K linear in N (so the
+output term does not mask the input term) and fit log(time) ~ log(N).
+Exponent bands are generous — wall-clock fits on small N are noisy — but
+wide enough apart to separate linear from quadratic behaviour.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import scaling_exponent
+from repro.bench.reporting import render_series
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.algorithms.registry import get_algorithm
+
+from conftest import record_report
+
+SIZES = [400, 800, 1600, 3200]
+
+
+def star_instance(n):
+    """Star join where K = n (each hub row pairs once) — linear output."""
+    q = JoinQuery.star(3)
+    db = {}
+    for i in (1, 2, 3):
+        rows = [((f"v{j}", f"h{j}"), Interval(j * 10, j * 10 + 5)) for j in range(n)]
+        db[f"R{i}"] = TemporalRelation(f"R{i}", (f"x{i}", "y"), rows)
+    return q, db
+
+
+def joinfirst_trap(n):
+    """Line-2 with a single hub value: n² value matches, zero temporal."""
+    q = JoinQuery.line(2)
+    left = [((f"a{i}", "hub"), Interval(2 * i, 2 * i + 1)) for i in range(n)]
+    right = [
+        (("hub", f"b{i}"), Interval(100000 + 2 * i, 100000 + 2 * i + 1))
+        for i in range(n)
+    ]
+    return q, {
+        "R1": TemporalRelation("R1", ("x1", "x2"), left),
+        "R2": TemporalRelation("R2", ("x2", "x3"), right),
+    }
+
+
+def _sweep(builder, algorithm, sizes, repeat=3):
+    fn = get_algorithm(algorithm)
+    # Warm up caches (planner widths, attribute trees) off the clock.
+    q, db = builder(sizes[0])
+    fn(q, db)
+    times = []
+    for n in sizes:
+        q, db = builder(n)
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn(q, db)
+            best = min(best, time.perf_counter() - start)
+        times.append(best)
+    return times
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scaling_hierarchical_near_linear(benchmark):
+    times = benchmark.pedantic(
+        _sweep, args=(star_instance, "timefirst", SIZES), rounds=1, iterations=1
+    )
+    exponent = scaling_exponent(SIZES, times)
+    record_report(
+        "ablation_scaling_hierarchical",
+        render_series(
+            f"Hierarchical TIMEFIRST scaling (measured exponent {exponent:.2f}, "
+            "theory 1 + log factor)",
+            SIZES, {"seconds": times}, x_label="N",
+        ),
+    )
+    assert exponent < 1.6, f"hierarchical sweep should be near-linear, got N^{exponent:.2f}"
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scaling_joinfirst_quadratic_on_trap(benchmark):
+    sizes = [200, 400, 800, 1600]
+    times = benchmark.pedantic(
+        _sweep, args=(joinfirst_trap, "joinfirst", sizes), rounds=1, iterations=1
+    )
+    exponent = scaling_exponent(sizes, times)
+    record_report(
+        "ablation_scaling_joinfirst",
+        render_series(
+            f"JOINFIRST on the hub trap (measured exponent {exponent:.2f}, "
+            "theory 2: it enumerates every value match)",
+            sizes, {"seconds": times}, x_label="N",
+        ),
+    )
+    assert exponent > 1.5, f"joinfirst should be ~quadratic here, got N^{exponent:.2f}"
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scaling_timefirst_escapes_the_trap(benchmark):
+    sizes = [200, 400, 800, 1600]
+    times = benchmark.pedantic(
+        _sweep, args=(joinfirst_trap, "timefirst", sizes), rounds=1, iterations=1
+    )
+    exponent = scaling_exponent(sizes, times)
+    record_report(
+        "ablation_scaling_timefirst_trap",
+        render_series(
+            f"TIMEFIRST on the same trap (measured exponent {exponent:.2f}; "
+            "output-sensitive: K = 0 here)",
+            sizes, {"seconds": times}, x_label="N",
+        ),
+    )
+    assert exponent < 1.6, f"timefirst should stay near-linear, got N^{exponent:.2f}"

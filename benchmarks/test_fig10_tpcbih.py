@@ -1,0 +1,83 @@
+"""Figure 10 (left): runtime ratios to BASELINE on TPC-BiH.
+
+Four temporal join queries distilled from TPC-H: Q_tpc3/Q_tpc5 (low join
+multiplicity — BASELINE competitive or winning) and Q_tpc9/Q_tpc10 (the
+partsupp × lineitem explosion — the toolkit ≥10× faster). Cells are
+runtime ratios to BASELINE, < 1 meaning faster, exactly as the paper
+plots them.
+"""
+
+import pytest
+
+from repro.bench.harness import compare_algorithms
+from repro.bench.reporting import render_ratio_table
+from repro.workloads import tpc_bih
+
+from conftest import record_report
+
+ALGORITHMS = ["baseline", "timefirst", "hybrid", "hybrid-interval"]
+CONFIG = tpc_bih.TPCBiHConfig(seed=50)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return tpc_bih.generate_database(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def results_table(database):
+    rows = {}
+    for qname, qf in tpc_bih.ALL_QUERIES.items():
+        query = qf()
+        db = {n: database[n] for n in query.edge_names}
+        rows[qname] = compare_algorithms(
+            ALGORITHMS, query, db, tau=0, measure_memory=False, validate=False,
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_tpcbih_ratios(benchmark, results_table):
+    rows = benchmark.pedantic(lambda: results_table, rounds=1, iterations=1)
+    record_report(
+        "fig10_tpcbih",
+        render_ratio_table(
+            "Figure 10 (left): runtime ratio vs BASELINE on TPC-BiH",
+            rows, baseline="baseline", x_label="query",
+        ),
+    )
+    # Result counts agree per query.
+    for qname, ms in rows.items():
+        counts = {m.result_count for m in ms if m.ok}
+        assert len(counts) == 1, (qname, counts)
+
+    by = {
+        qname: {m.algorithm: m for m in ms if m.ok}
+        for qname, ms in rows.items()
+    }
+    # The multiplicity explosion queries: at least one toolkit algorithm
+    # clearly beats BASELINE (paper: >= 10x on C++ at full scale; pure
+    # Python compresses the gap, so we assert a conservative 1.3x).
+    for qname in ["Q_tpc9", "Q_tpc10"]:
+        base = by[qname]["baseline"].seconds
+        best = min(
+            m.seconds for name, m in by[qname].items() if name != "baseline"
+        )
+        assert best * 1.3 < base, (
+            f"{qname}: best toolkit {best:.3f}s vs baseline {base:.3f}s"
+        )
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("qname", list(tpc_bih.ALL_QUERIES))
+def test_fig10_tpcbih_single_query(benchmark, database, qname):
+    """Per-query pytest-benchmark entries for the planner's auto pick."""
+    from repro.algorithms.registry import temporal_join
+
+    query = tpc_bih.ALL_QUERIES[qname]()
+    db = {n: database[n] for n in query.edge_names}
+    result = benchmark.pedantic(
+        temporal_join, args=(query, db), kwargs={"algorithm": "auto"},
+        rounds=1, iterations=1,
+    )
+    assert result.attrs == query.attrs

@@ -1,0 +1,94 @@
+"""Figure 8: runtime (top) and peak memory (bottom) on synthetic data.
+
+Line (Q_L4), star (Q_S4) and cyclic (Q_C4) joins over the dangling-heavy
+synthetic generator, for durability thresholds τ ∈ {0 … 800}; compared
+algorithms follow the paper: TIMEFIRST, HYBRID, HYBRID-INTERVAL (where
+applicable) and BASELINE.
+
+Expected shape (asserted loosely): BASELINE pays for the dangling
+intermediate mass, our algorithms do not; the gap is largest on star
+joins (Theorem 6's output-sensitivity) and HYBRID beats BASELINE on the
+cycle; memory gaps mirror the time gaps.
+"""
+
+import pytest
+
+from repro.bench.harness import compare_algorithms
+from repro.bench.reporting import render_table
+from repro.core.query import JoinQuery
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+from conftest import record_report
+
+TAUS = [0, 100, 200, 400, 800]
+CONFIG = SyntheticConfig(n_dangling=300, n_results=110, seed=8)
+
+CASES = {
+    "line_QL4": (JoinQuery.line(4), ["timefirst", "hybrid", "hybrid-interval", "baseline"]),
+    "star_QS4": (JoinQuery.star(4), ["timefirst", "hybrid-interval", "baseline"]),
+    "cycle_QC4": (JoinQuery.cycle(4), ["timefirst", "hybrid", "baseline"]),
+}
+
+
+@pytest.fixture(scope="module")
+def databases():
+    return {name: generate(query, CONFIG) for name, (query, _) in CASES.items()}
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("case", list(CASES))
+def test_fig8_runtime_and_memory(benchmark, databases, case):
+    query, algorithms = CASES[case]
+    db = databases[case]
+    rows = {}
+
+    def run():
+        for tau in TAUS:
+            rows[tau] = compare_algorithms(
+                algorithms, query, db, tau=tau, measure_memory=True,
+                validate=False,
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record_report(
+        f"fig8_time_{case}",
+        render_table(
+            f"Figure 8 (top, {case}): runtime vs durability threshold",
+            rows, metric="seconds", x_label="tau",
+        ),
+    )
+    record_report(
+        f"fig8_memory_{case}",
+        render_table(
+            f"Figure 8 (bottom, {case}): peak memory vs durability threshold",
+            rows, metric="memory", x_label="tau",
+        ),
+    )
+
+    # All algorithms agree on the result count at every tau.
+    for tau, ms in rows.items():
+        counts = {m.result_count for m in ms if m.ok}
+        assert len(counts) == 1, (case, tau, [(m.algorithm, m.result_count) for m in ms])
+
+    # Result counts decay with tau and hit 0 by tau >= max_durability.
+    counts = [rows[tau][0].result_count for tau in TAUS]
+    assert counts == sorted(counts, reverse=True)
+
+    # Qualitative Figure 8 claims at tau = 0 (where the dangling mass is
+    # fully active): the toolkit beats BASELINE.
+    at0 = {m.algorithm: m for m in rows[0]}
+    baseline = at0["baseline"]
+    best_ours = min(
+        (m for name, m in at0.items() if name != "baseline"),
+        key=lambda m: m.seconds,
+    )
+    assert best_ours.seconds < baseline.seconds, (
+        f"{case}: best toolkit {best_ours.algorithm}={best_ours.seconds:.3f}s "
+        f"not faster than baseline {baseline.seconds:.3f}s"
+    )
+    if case == "star_QS4":
+        # The star gap is the headline (paper: up to 60× time, 1000× memory).
+        assert at0["timefirst"].seconds * 3 < baseline.seconds
+        assert at0["timefirst"].peak_bytes * 3 < baseline.peak_bytes

@@ -1,0 +1,95 @@
+"""Figure 9: throughput vs input size on TPC-E (star) and LDBC-SNB (line).
+
+The paper scales N (50K–1M holdings for the TPC-E star with τ = 170;
+10K–2M knows-edges for the LDBC line with τ = 11) and plots *throughput*
+(results per time unit). Flat curves demonstrate output-sensitivity.
+
+Pure Python shifts the absolute scale down (see DESIGN.md), so we sweep
+smaller N but assert the same shape: throughput roughly constant in N
+(within an order-of-magnitude band dominated by constant factors), for
+the output-sensitive algorithms TIMEFIRST / HYBRID-INTERVAL / BASELINE.
+"""
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import render_table
+from repro.core.query import JoinQuery, self_join_database
+from repro.workloads import ldbc, tpce
+
+from conftest import record_report
+
+TPCE_SIZES = [400, 800, 1600, 3200]
+LDBC_SIZES = [300, 600, 1200, 2400]
+
+
+def tpce_database(n):
+    config = tpce.TPCEConfig(
+        n_customers=max(40, n // 6), n_securities=max(12, n // 40),
+        hot_securities=max(3, n // 200), n_holdings=n, seed=170,
+    )
+    holdings = tpce.generate_holdings(config)
+    return tpce.star_query(3), tpce.star_database(holdings, 3)
+
+
+def ldbc_database(n):
+    config = ldbc.LDBCConfig(
+        n_persons=max(40, n // 5), n_knows=n // 2, seed=11
+    )
+    rel = ldbc.knows_relation(config)
+    query = JoinQuery.line(3)
+    return query, self_join_database(query, rel)
+
+
+CASES = {
+    "tpce_star_tau170": (tpce_database, TPCE_SIZES, 170,
+                         ["timefirst", "baseline"]),
+    "ldbc_line_tau11": (ldbc_database, LDBC_SIZES, 11,
+                        ["timefirst", "hybrid-interval", "baseline"]),
+}
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("case", list(CASES))
+def test_fig9_throughput_flat(benchmark, case):
+    builder, sizes, tau, algorithms = CASES[case]
+    rows = {}
+
+    def run():
+        for n in sizes:
+            query, db = builder(n)
+            rows[query.input_size(db)] = [
+                measure(alg, query, db, tau=tau, measure_memory=False)
+                for alg in algorithms
+            ]
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(
+        f"fig9_throughput_{case}",
+        render_table(
+            f"Figure 9 ({case}): throughput (results/s) vs input size N",
+            rows, metric="throughput", x_label="N",
+        )
+        + "\n"
+        + render_table(
+            f"Figure 9 ({case}): raw runtime and result counts",
+            rows, metric="results", x_label="N",
+        ),
+    )
+
+    # Output-sensitivity: once the output dominates (largest sizes), the
+    # per-result cost must not blow up — throughput at the largest N stays
+    # within a small factor of the mid sizes for every algorithm.
+    for alg in algorithms:
+        series = [
+            m.throughput
+            for n in sorted(rows)
+            for m in rows[n]
+            if m.algorithm == alg and m.result_count > 0
+        ]
+        assert len(series) >= 3, f"{alg}: not enough non-empty points"
+        tail = series[-3:]
+        assert max(tail) < 25 * min(tail), (
+            f"{case}/{alg}: throughput not flat: {series}"
+        )

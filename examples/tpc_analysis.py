@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Data-aware plan analysis on the TPC-BiH workload (§6.3's vision).
+
+Section 6.3 concludes that picking between TIMEFIRST / HYBRID /
+HYBRID-INTERVAL / BASELINE / JOINFIRST should be *cost-based*, informed
+by both query structure and data characteristics. This example walks the
+full loop on the four TPC-BiH queries:
+
+1. characterize the data (`workloads.stats`): multiplicities, pairwise
+   temporal join sizes, the blow-up factor;
+2. ask the structure-only Figure 7 planner and the data-aware advisor;
+3. run every applicable algorithm and crown the actual winner.
+
+Run:  python examples/tpc_analysis.py
+"""
+
+import time
+
+from repro import available_algorithms, plan
+from repro.algorithms.registry import get_algorithm
+from repro.core.advisor import advise
+from repro.core.errors import ReproError
+from repro.workloads import tpc_bih
+from repro.workloads.stats import workload_stats
+
+CONFIG = tpc_bih.TPCBiHConfig(n_customers=100, seed=50)
+
+
+def main() -> None:
+    database = tpc_bih.generate_database(CONFIG)
+    for qname, qf in tpc_bih.ALL_QUERIES.items():
+        query = qf()
+        db = {n: database[n] for n in query.edge_names}
+        print("=" * 72)
+        print(f"{qname}: {query}")
+        print("-" * 72)
+
+        stats = workload_stats(query, db)
+        print(stats.report())
+        print()
+
+        structural = plan(query)
+        advice = advise(query, db)
+        print(f"Figure 7 planner (structure only): {structural.algorithm}")
+        print(f"Cost-based advisor (data-aware)  : {advice.best}")
+
+        timings = {}
+        results = None
+        for name in available_algorithms():
+            if name in ("naive", "timefirst-cm"):
+                continue
+            fn = get_algorithm(name)
+            try:
+                start = time.perf_counter()
+                out = fn(query, db)
+                timings[name] = time.perf_counter() - start
+            except ReproError:
+                continue
+            if results is None:
+                results = out.normalized()
+            else:
+                assert out.normalized() == results, name
+        winner = min(timings, key=timings.get)
+        print(f"Measured winner                  : {winner}")
+        for name, seconds in sorted(timings.items(), key=lambda kv: kv[1]):
+            marker = " ◀" if name == winner else ""
+            print(f"    {name:>16}: {seconds * 1e3:8.1f} ms{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — temporal multi-way join processing.
+
+A from-scratch Python implementation of *Computing Complex Temporal Join
+Queries Efficiently* (Hu, Sintos, Gao, Agarwal, Yang — SIGMOD 2022):
+TIMEFIRST sweeps (hierarchical and GHD-based), the HYBRID and
+HYBRID-INTERVAL algorithms, durable temporal joins, the Figure 7 planner,
+the pairwise and join-first baselines, and every substrate they stand on
+(Yannakakis, GenericJoin, GHD/width machinery, interval joins).
+
+Quickstart
+----------
+>>> from repro import Interval, JoinQuery, TemporalRelation, temporal_join
+>>> q = JoinQuery.line(3)
+>>> db = {
+...     "R1": TemporalRelation("R1", ("x1", "x2"), [(("A", "B"), (2013, 2017))]),
+...     "R2": TemporalRelation("R2", ("x2", "x3"), [(("B", "C"), (2011, 2015))]),
+...     "R3": TemporalRelation("R3", ("x3", "x4"), [(("C", "D"), (2012, 2016))]),
+... }
+>>> [(values, (iv.lo, iv.hi)) for values, iv in temporal_join(q, db)]
+[(('A', 'B', 'C', 'D'), (2013, 2015))]
+"""
+
+from .algorithms import (
+    OnlineTemporalJoin,
+    available_algorithms,
+    baseline_join,
+    binary_temporal_join,
+    hybrid_interval_join,
+    hybrid_join,
+    joinfirst_join,
+    naive_join,
+    stream_temporal_join,
+    temporal_join,
+    top_k_durable,
+    timefirst_join,
+)
+from .core import (
+    Interval,
+    IntervalSet,
+    JoinQuery,
+    JoinResultSet,
+    QueryClass,
+    ReproError,
+    TemporalRelation,
+    classify,
+    self_join_database,
+    shrink_database,
+)
+from .core.advisor import Advice, advise
+from .core.timeline import Timeline, busiest_instant, result_timeline
+from .core.planner import Plan, plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Advice",
+    "advise",
+    "Interval",
+    "IntervalSet",
+    "JoinQuery",
+    "JoinResultSet",
+    "Plan",
+    "QueryClass",
+    "ReproError",
+    "TemporalRelation",
+    "available_algorithms",
+    "baseline_join",
+    "binary_temporal_join",
+    "classify",
+    "hybrid_interval_join",
+    "hybrid_join",
+    "joinfirst_join",
+    "OnlineTemporalJoin",
+    "Timeline",
+    "busiest_instant",
+    "naive_join",
+    "plan",
+    "self_join_database",
+    "shrink_database",
+    "result_timeline",
+    "stream_temporal_join",
+    "temporal_join",
+    "top_k_durable",
+    "timefirst_join",
+]

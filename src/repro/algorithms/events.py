@@ -1,0 +1,65 @@
+"""Endpoint event streams for the TIMEFIRST sweep (Algorithm 1, line 1).
+
+The sweep stops at every interval endpoint: left endpoints insert the
+tuple into the dynamic structure, right endpoints enumerate the results
+the tuple participates in and then delete it.
+
+Tie-breaking is load-bearing: intervals are closed, so ``[1, 2]`` and
+``[2, 3]`` *do* join. All insertions at time ``t`` must therefore be
+processed before any expiration at time ``t`` — encoded by sorting on
+``(time, kind)`` with ``INSERT < EXPIRE``. Among equal ``(time, kind)``
+events the order is the deterministic input order, which also fixes which
+of several same-endpoint tuples enumerates a shared result (exactly one
+of them does: the first expiration processed sees the others still
+active; later ones no longer see it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Tuple
+
+from ..core.interval import Interval, Number
+from ..core.relation import TemporalRelation
+
+INSERT = 0
+EXPIRE = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One sweep stop: a tuple's left or right endpoint."""
+
+    time: Number
+    kind: int  # INSERT or EXPIRE
+    seq: int  # input order, for deterministic ties
+    relation: str
+    values: Tuple[object, ...]
+    interval: Interval
+
+
+def event_stream(database: Mapping[str, TemporalRelation]) -> List[Event]:
+    """Sorted endpoint events for all tuples of ``database``.
+
+    ``O(N log N)`` — the sort in Algorithm 1 line 1. Every tuple yields
+    exactly one INSERT and one EXPIRE event.
+    """
+    events: List[Event] = []
+    seq = 0
+    for name in database:
+        for values, interval in database[name]:
+            events.append(Event(interval.lo, INSERT, seq, name, values, interval))
+            events.append(Event(interval.hi, EXPIRE, seq, name, values, interval))
+            seq += 1
+    events.sort(key=lambda e: (e.time, e.kind, e.seq))
+    return events
+
+
+def distinct_endpoint_count(database: Mapping[str, TemporalRelation]) -> int:
+    """Number of distinct endpoint values (used by run-time analyses)."""
+    points = set()
+    for rel in database.values():
+        for _, interval in rel:
+            points.add(interval.lo)
+            points.add(interval.hi)
+    return len(points)

@@ -1,0 +1,126 @@
+"""TIMEFIRST (Algorithm 1): the sweep framework for temporal joins.
+
+The driver is agnostic to the dynamic structure ``D``: any object
+implementing :class:`SweepState` can be plugged in. Two states ship with
+the library —
+
+* :class:`~repro.algorithms.hierarchical.HierarchicalState` for
+  (r-)hierarchical queries (Section 3.2, ``O(N log N + K)``), and
+* :class:`~repro.algorithms.generic_state.GenericGHDState` for arbitrary
+  queries (Section 3.3, ``O(N^(fhtw+1) + K)``).
+
+The public entry points below also handle the τ-durable reduction (shrink
+inputs by τ/2, expand result intervals back) so callers never deal with
+the transform directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Protocol, Tuple
+
+from ..core.durability import shrink_database
+from ..core.interval import Interval, Number
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+from ..core.result import JoinResultSet
+from .events import EXPIRE, INSERT, event_stream
+
+Values = Tuple[object, ...]
+
+
+class SweepState(Protocol):
+    """The dynamic structure ``D`` maintained by the sweep.
+
+    Implementations own their output: ``enumerate_results`` appends every
+    temporal join result involving the expiring tuple directly to the
+    result set handed to them (avoiding per-call list churn).
+    """
+
+    def insert(self, relation: str, values: Values, interval: Interval) -> None:
+        """Algorithm 1, line 6."""
+        ...
+
+    def enumerate_results(
+        self,
+        relation: str,
+        values: Values,
+        interval: Interval,
+        out: JoinResultSet,
+    ) -> None:
+        """Algorithm 1, line 8 — results participated by the expiring tuple."""
+        ...
+
+    def delete(self, relation: str, values: Values, interval: Interval) -> None:
+        """Algorithm 1, line 9."""
+        ...
+
+
+def sweep(
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    state: SweepState,
+) -> JoinResultSet:
+    """Run Algorithm 1 with the supplied dynamic structure.
+
+    The database is assumed already shrunk if a durability threshold
+    applies; use :func:`timefirst_join` for the full τ-aware entry point.
+    """
+    out = JoinResultSet(query.attrs)
+    for event in event_stream(database):
+        if event.kind == INSERT:
+            state.insert(event.relation, event.values, event.interval)
+        else:
+            state.enumerate_results(
+                event.relation, event.values, event.interval, out
+            )
+            state.delete(event.relation, event.values, event.interval)
+    return out
+
+
+def timefirst_join(
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number = 0,
+    state_factory: Optional[object] = None,
+) -> JoinResultSet:
+    """τ-durable temporal join via TIMEFIRST with an auto-selected state.
+
+    Selection follows Section 3: hierarchical queries (after linear-time
+    reduction when merely r-hierarchical) use the attribute-tree structure;
+    everything else uses the GHD-based generic state.
+
+    ``state_factory`` overrides the choice: a callable
+    ``(query, database) -> SweepState``.
+    """
+    from ..core.classification import reduce_instance
+    from .generic_state import GenericGHDState
+    from .hierarchical import HierarchicalState
+
+    query.validate(database)
+    db = shrink_database(database, tau)
+
+    if state_factory is not None:
+        run_query, run_db = query, db
+        state = state_factory(run_query, run_db)  # type: ignore[operator]
+    elif query.is_hierarchical:
+        run_query, run_db = query, db
+        state = HierarchicalState(run_query)
+    elif query.is_r_hierarchical:
+        reduced_hg, reduced_db = reduce_instance(query.hypergraph, db)
+        run_query = JoinQuery.from_hypergraph(reduced_hg)
+        # Keep the original output attribute order: reduction never
+        # removes attributes, only edges.
+        run_query = JoinQuery(
+            {n: reduced_hg.edge(n) for n in reduced_hg.edge_names},
+            attr_order=query.attrs,
+        )
+        run_db = reduced_db
+        state = HierarchicalState(run_query)
+    else:
+        run_query, run_db = query, db
+        state = GenericGHDState(run_query, run_db)
+
+    result = sweep(run_query, run_db, state)
+    if tuple(result.attrs) != tuple(query.attrs):  # pragma: no cover - defensive
+        raise AssertionError("sweep returned unexpected attribute layout")
+    return result.expand_intervals(tau / 2 if tau else 0)

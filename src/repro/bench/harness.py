@@ -1,0 +1,150 @@
+"""Measurement harness: wall-clock, peak memory, result validation.
+
+The paper reports three quantities per (algorithm, workload, τ) cell:
+running time (Figures 8–10), peak memory (Figures 8, 11), and — for
+Figure 9 — throughput (results per second). :func:`measure` produces all
+of them for one run; :func:`compare_algorithms` builds the full table a
+figure needs, cross-validating that every algorithm returned identical
+results (a benchmark that silently compares algorithms computing
+different answers is worse than no benchmark).
+
+Peak memory uses :mod:`tracemalloc`, which tracks Python allocations —
+the right analogue of the paper's resident-set measurements for a pure
+Python system. Tracing slows execution, so timing and memory are taken
+in separate runs.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..algorithms.registry import get_algorithm
+from ..core.errors import ReproError
+from ..core.interval import Number
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+from ..core.result import JoinResultSet
+
+
+@dataclass
+class Measurement:
+    """One (algorithm, workload, τ) cell."""
+
+    algorithm: str
+    seconds: float
+    peak_bytes: int
+    result_count: int
+    input_size: int
+    tau: Number
+    ok: bool = True
+    note: str = ""
+
+    @property
+    def throughput(self) -> float:
+        """Results per second (Figure 9's metric)."""
+        return self.result_count / self.seconds if self.seconds > 0 else float("inf")
+
+
+def measure(
+    algorithm: str,
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number = 0,
+    measure_memory: bool = True,
+    repeat: int = 1,
+    **kwargs,
+) -> Measurement:
+    """Run one algorithm, returning time, peak memory, and result count."""
+    fn = get_algorithm(algorithm)
+    n = query.input_size(database)
+
+    best = float("inf")
+    result: Optional[JoinResultSet] = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn(query, database, tau=tau, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+
+    peak = 0
+    if measure_memory:
+        tracemalloc.start()
+        try:
+            fn(query, database, tau=tau, **kwargs)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+    return Measurement(
+        algorithm=algorithm,
+        seconds=best,
+        peak_bytes=peak,
+        result_count=len(result),
+        input_size=n,
+        tau=tau,
+    )
+
+
+def compare_algorithms(
+    algorithms: Sequence[str],
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number = 0,
+    measure_memory: bool = True,
+    validate: bool = True,
+    repeat: int = 1,
+) -> List[Measurement]:
+    """Measure several algorithms on one workload, cross-validating output.
+
+    Algorithms that raise :class:`ReproError` (e.g. HYBRID-INTERVAL on a
+    query without a guarded partition) are reported with ``ok=False`` and
+    a note instead of aborting the whole figure.
+    """
+    measurements: List[Measurement] = []
+    reference: Optional[List] = None
+    for name in algorithms:
+        try:
+            m = measure(
+                name, query, database, tau=tau,
+                measure_memory=measure_memory, repeat=repeat,
+            )
+        except ReproError as exc:
+            measurements.append(
+                Measurement(
+                    algorithm=name, seconds=float("nan"), peak_bytes=0,
+                    result_count=-1, input_size=query.input_size(database),
+                    tau=tau, ok=False, note=str(exc),
+                )
+            )
+            continue
+        if validate:
+            fn = get_algorithm(name)
+            got = fn(query, database, tau=tau).normalized()
+            if reference is None:
+                reference = got
+            elif got != reference:
+                m.ok = False
+                m.note = "RESULT MISMATCH vs first algorithm"
+        measurements.append(m)
+    return measurements
+
+
+def scaling_exponent(sizes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) vs log(N) — the measured exponent.
+
+    Used by the ablation bench to compare empirical growth against the
+    theoretical bounds of Figure 4.
+    """
+    import math
+
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-9)) for t in times]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else float("nan")

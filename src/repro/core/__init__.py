@@ -1,0 +1,74 @@
+"""Core model: intervals, relations, queries, classification, planning."""
+
+from .advisor import Advice, AlgorithmCost, advise
+
+from .classification import AttributeTree, QueryClass, classify, is_hierarchical, is_r_hierarchical, reduce_instance
+from .durability import (
+    coalesce_results,
+    temporal_join_multi,
+    durability,
+    explode_interval_sets,
+    lead_lag_transform,
+    relative_pattern_transform,
+    shrink_database,
+    widen_instants,
+)
+from .errors import IntervalError, PlanError, QueryError, ReproError, SchemaError
+from .hypergraph import Hypergraph, verify_join_tree
+from .interval import Interval, IntervalSet, intersect_all
+from .io import (
+    read_database_csv,
+    read_relation_csv,
+    write_database_csv,
+    write_relation_csv,
+    write_results_csv,
+)
+from .query import Database, JoinQuery, self_join_database
+from .relation import TemporalRelation
+from .result import JoinResultSet, merge_result_sets
+from .timeline import Timeline, busiest_instant, concurrency_timeline, result_timeline
+
+__all__ = [
+    "Advice",
+    "AlgorithmCost",
+    "advise",
+    "AttributeTree",
+    "Database",
+    "Hypergraph",
+    "Interval",
+    "IntervalError",
+    "IntervalSet",
+    "JoinQuery",
+    "JoinResultSet",
+    "PlanError",
+    "QueryClass",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "TemporalRelation",
+    "classify",
+    "coalesce_results",
+    "durability",
+    "explode_interval_sets",
+    "intersect_all",
+    "is_hierarchical",
+    "is_r_hierarchical",
+    "lead_lag_transform",
+    "merge_result_sets",
+    "read_database_csv",
+    "read_relation_csv",
+    "reduce_instance",
+    "relative_pattern_transform",
+    "self_join_database",
+    "shrink_database",
+    "Timeline",
+    "busiest_instant",
+    "concurrency_timeline",
+    "result_timeline",
+    "verify_join_tree",
+    "temporal_join_multi",
+    "widen_instants",
+    "write_database_csv",
+    "write_relation_csv",
+    "write_results_csv",
+]

@@ -1,0 +1,328 @@
+"""Join-query hypergraphs: acyclicity, join trees, induced subqueries.
+
+A join query is a hypergraph ``Q = (V, E)`` whose vertices are attributes
+and whose named hyperedges are relations (Section 2.1 of the paper). This
+module implements the structural machinery that every algorithm builds on:
+
+* GYO ear reduction, which simultaneously decides α-acyclicity and produces
+  a *join tree* (Beeri et al. [23]);
+* induced sub-hypergraphs ``Q_I`` (Section 4.2);
+* connectivity, attribute→edge incidence, reduction (removal of edges
+  contained in other edges, used by the r-hierarchical test).
+
+Edges are identified by *name*, not by attribute set: two distinct
+relations may cover identical attribute sets (that situation only arises
+in non-reduced queries, but the data model should not forbid it).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .errors import QueryError
+
+
+class Hypergraph:
+    """An attribute hypergraph with named hyperedges.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from edge (relation) name to an iterable of attribute
+        names. Attribute order inside an edge is preserved for display but
+        irrelevant to the semantics.
+    """
+
+    __slots__ = ("_edges", "_attrs", "_incidence")
+
+    def __init__(self, edges: Mapping[str, Sequence[str]]) -> None:
+        if not edges:
+            raise QueryError("a join query needs at least one relation")
+        self._edges: Dict[str, Tuple[str, ...]] = {}
+        self._incidence: Dict[str, Set[str]] = {}
+        for name, attrs in edges.items():
+            attrs = tuple(attrs)
+            if not attrs:
+                raise QueryError(f"hyperedge {name!r} has no attributes")
+            if len(set(attrs)) != len(attrs):
+                raise QueryError(f"hyperedge {name!r} repeats attributes: {attrs}")
+            self._edges[name] = attrs
+            for a in attrs:
+                self._incidence.setdefault(a, set()).add(name)
+        # Deterministic global attribute order: first appearance.
+        seen: List[str] = []
+        seen_set: Set[str] = set()
+        for attrs in self._edges.values():
+            for a in attrs:
+                if a not in seen_set:
+                    seen.append(a)
+                    seen_set.add(a)
+        self._attrs: Tuple[str, ...] = tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def attrs(self) -> Tuple[str, ...]:
+        """All attributes, in deterministic first-appearance order."""
+        return self._attrs
+
+    @property
+    def edge_names(self) -> List[str]:
+        """Edge names in declaration order."""
+        return list(self._edges)
+
+    def edge(self, name: str) -> Tuple[str, ...]:
+        """Attribute tuple of edge ``name``."""
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise QueryError(f"unknown relation {name!r}") from None
+
+    def edge_set(self, name: str) -> FrozenSet[str]:
+        """Attribute set of edge ``name``."""
+        return frozenset(self.edge(name))
+
+    def edges_of(self, attr: str) -> FrozenSet[str]:
+        """The paper's ``E_x``: names of edges containing attribute ``attr``."""
+        try:
+            return frozenset(self._incidence[attr])
+        except KeyError:
+            raise QueryError(f"unknown attribute {attr!r}") from None
+
+    def items(self) -> Iterable[Tuple[str, Tuple[str, ...]]]:
+        return self._edges.items()
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{n}({', '.join(a)})" for n, a in self._edges.items())
+        return f"Hypergraph({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return {n: frozenset(a) for n, a in self._edges.items()} == {
+            n: frozenset(a) for n, a in other._edges.items()
+        }
+
+    def __hash__(self) -> int:
+        return hash(frozenset((n, frozenset(a)) for n, a in self._edges.items()))
+
+    # ------------------------------------------------------------------
+    # Structure: connectivity, reduction, induced subqueries
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List[List[str]]:
+        """Partition edge names into connected components (shared attrs)."""
+        remaining = set(self._edges)
+        components: List[List[str]] = []
+        while remaining:
+            start = min(remaining)  # deterministic
+            stack = [start]
+            comp: Set[str] = set()
+            while stack:
+                e = stack.pop()
+                if e in comp:
+                    continue
+                comp.add(e)
+                for a in self._edges[e]:
+                    for other in self._incidence[a]:
+                        if other in remaining and other not in comp:
+                            stack.append(other)
+            remaining -= comp
+            components.append(sorted(comp))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) == 1
+
+    def reduce(self) -> Tuple["Hypergraph", Dict[str, str]]:
+        """Remove edges contained in other edges (the paper's *reduced* join).
+
+        Returns the reduced hypergraph together with an ``absorbed`` map
+        from each removed edge name to the surviving edge that contains it.
+        Ties are broken deterministically (larger edge first, then name) so
+        repeated calls agree. The temporal semantics of absorption — the
+        semijoin with interval intersection of footnote 2 — is implemented
+        in :func:`repro.core.classification.reduce_instance`.
+        """
+        names = sorted(
+            self._edges, key=lambda n: (-len(self._edges[n]), n)
+        )
+        kept: List[str] = []
+        absorbed: Dict[str, str] = {}
+        for name in names:
+            attrs = set(self._edges[name])
+            host = None
+            for other in kept:
+                if attrs <= set(self._edges[other]):
+                    host = other
+                    break
+            if host is None:
+                kept.append(name)
+            else:
+                absorbed[name] = host
+        reduced = Hypergraph({n: self._edges[n] for n in self._edges if n in set(kept)})
+        return reduced, absorbed
+
+    def induced(self, attrs: Iterable[str]) -> "Hypergraph":
+        """The sub-hypergraph ``Q_I`` induced by attribute set ``attrs``.
+
+        Follows Section 4.2: keep every edge intersecting ``I``, restricted
+        to ``I``. Edges whose restriction is empty are dropped.
+        """
+        keep = set(attrs)
+        edges: Dict[str, Tuple[str, ...]] = {}
+        for name, eattrs in self._edges.items():
+            restricted = tuple(a for a in eattrs if a in keep)
+            if restricted:
+                edges[name] = restricted
+        if not edges:
+            raise QueryError(f"no edge intersects attribute set {sorted(keep)}")
+        return Hypergraph(edges)
+
+    # ------------------------------------------------------------------
+    # Acyclicity via GYO ear reduction
+    # ------------------------------------------------------------------
+    def gyo_join_tree(self) -> Optional[Dict[str, Optional[str]]]:
+        """GYO ear reduction; returns a join tree or ``None`` if cyclic.
+
+        The join tree is returned as a parent map over edge names; exactly
+        one edge per connected component has parent ``None``. An edge ``e``
+        is an *ear* if some other edge ``w`` contains every attribute of
+        ``e`` that is shared with any third edge; removing ears until none
+        remain empties the edge set iff the hypergraph is α-acyclic, and
+        attaching each ear to its witness yields a join tree.
+        """
+        alive: Dict[str, Set[str]] = {n: set(a) for n, a in self._edges.items()}
+        parent: Dict[str, Optional[str]] = {}
+        # Repeat until no removal applies.
+        changed = True
+        while changed and len(alive) > 1:
+            changed = False
+            for name in sorted(alive):
+                attrs = alive[name]
+                # Attributes of `name` shared with some other alive edge.
+                shared = {
+                    a
+                    for a in attrs
+                    if any(a in alive[o] for o in alive if o != name)
+                }
+                witness = None
+                for other in sorted(alive):
+                    if other == name:
+                        continue
+                    if shared <= alive[other]:
+                        witness = other
+                        break
+                if witness is not None:
+                    parent[name] = witness
+                    del alive[name]
+                    changed = True
+                    break
+        if len(alive) > 1:
+            return None
+        # The last edge of each component is its root.
+        for name in alive:
+            parent[name] = None
+        # Ears may have been attached to edges that were themselves later
+        # removed; that is fine — the witness was alive at removal time and
+        # the parent pointers still form a tree over all edges. But if the
+        # query had several components, only one root survived the loop;
+        # re-rooting per component keeps the forest consistent.
+        return self._repair_forest(parent)
+
+    def _repair_forest(
+        self, parent: Dict[str, Optional[str]]
+    ) -> Dict[str, Optional[str]]:
+        """Ensure every edge reaches a root (guards against stale witnesses)."""
+        for name in self._edges:
+            if name not in parent:
+                parent[name] = None
+        return parent
+
+    def is_acyclic(self) -> bool:
+        """α-acyclicity test (Beeri et al.)."""
+        return self.gyo_join_tree() is not None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def rename_attrs(self, mapping: Mapping[str, str]) -> "Hypergraph":
+        """Rename attributes throughout the hypergraph."""
+        return Hypergraph(
+            {
+                n: tuple(mapping.get(a, a) for a in attrs)
+                for n, attrs in self._edges.items()
+            }
+        )
+
+
+def join_tree_children(parent: Mapping[str, Optional[str]]) -> Dict[str, List[str]]:
+    """Invert a parent map into sorted child lists (roots under key ``""``)."""
+    children: Dict[str, List[str]] = {}
+    for node, par in parent.items():
+        children.setdefault("" if par is None else par, []).append(node)
+    for lst in children.values():
+        lst.sort()
+    return children
+
+
+def verify_join_tree(
+    hg: Hypergraph, parent: Mapping[str, Optional[str]]
+) -> bool:
+    """Check the running-intersection property of a candidate join tree.
+
+    For every attribute ``x``, the set of tree nodes whose edge contains
+    ``x`` must induce a connected subtree. Used by tests and by the GHD
+    validity checker.
+    """
+    names = list(hg.edge_names)
+    if set(parent) != set(names):
+        return False
+    # Build adjacency.
+    adj: Dict[str, Set[str]] = {n: set() for n in names}
+    roots = 0
+    for node, par in parent.items():
+        if par is None:
+            roots += 1
+            continue
+        if par not in adj:
+            return False
+        adj[node].add(par)
+        adj[par].add(node)
+    # Must be a forest: |edges| == |nodes| - #roots and connected per root.
+    edge_count = sum(len(s) for s in adj.values()) // 2
+    if edge_count != len(names) - roots:
+        return False
+    for attr in hg.attrs:
+        holders = [n for n in names if attr in hg.edge(n)]
+        if len(holders) <= 1:
+            continue
+        # BFS within holders.
+        seen = {holders[0]}
+        stack = [holders[0]]
+        holder_set = set(holders)
+        while stack:
+            cur = stack.pop()
+            for nxt in adj[cur]:
+                if nxt in holder_set and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        if seen != holder_set:
+            return False
+    return True

@@ -1,0 +1,117 @@
+"""The Figure 7 guideline: choosing an evaluation strategy per query.
+
+Given only the query structure (never the data — that is future work the
+paper's Section 6.3 sketches), the guideline walks a decision tree:
+
+* hierarchical (or r-hierarchical after reduction) → TIMEFIRST with the
+  attribute-tree structure (Theorem 6, optimal);
+* acyclic but non-hierarchical → TIMEFIRST with the GHD state
+  (Corollary 10); when hhtw = 2 the hierarchical-GHD HYBRID is listed as
+  competitive, and when a guarded partition exists HYBRID-INTERVAL is
+  preferred (Section 4.2's O(N^1.5 + K) for line joins);
+* cyclic → HYBRID (Theorem 12); TIMEFIRST-GHD is additionally listed when
+  fhtw + 1 ≤ hhtw, and the guarded simplification applies when available.
+
+:func:`plan` returns a :class:`Plan` carrying the primary choice, the
+competitive alternatives, the computed widths, and an ``explain()``
+rendering used by the Table 1 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .classification import QueryClass, classify
+from .query import JoinQuery
+
+
+@dataclass
+class Plan:
+    """Outcome of the Figure 7 decision procedure for one query."""
+
+    query: JoinQuery
+    query_class: QueryClass
+    algorithm: str
+    alternatives: List[str]
+    fhtw: float
+    hhtw: float
+    exponent: float  # Theorem 12 bound min(fhtw + 1, hhtw) (1 if hierarchical)
+    guarded: bool
+    notes: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable account of the decision, à la Table 1."""
+        lines = [
+            f"query      : {self.query!r}",
+            f"class      : {self.query_class.value}",
+            f"fhtw       : {self.fhtw:g}   hhtw: {self.hhtw:g}",
+            f"exponent   : N^{self.exponent:g} (+ K)",
+            f"algorithm  : {self.algorithm}",
+        ]
+        if self.alternatives:
+            lines.append(f"also viable: {', '.join(self.alternatives)}")
+        if self.guarded:
+            lines.append("guarded    : yes (HybridGuarded / interval join applies)")
+        for note in self.notes:
+            lines.append(f"note       : {note}")
+        return "\n".join(lines)
+
+
+def plan(query: JoinQuery) -> Plan:
+    """Run the Figure 7 guideline on ``query`` (O(1) data complexity)."""
+    from ..nontemporal.ghd import fhtw, find_guarded_partition, hhtw
+
+    qclass = classify(query.hypergraph)
+    hg = query.hypergraph
+    f = fhtw(hg)
+    h = hhtw(hg)
+    guarded = find_guarded_partition(hg) is not None
+    notes: List[str] = []
+
+    if qclass in (QueryClass.HIERARCHICAL, QueryClass.R_HIERARCHICAL):
+        algorithm = "timefirst"
+        alternatives: List[str] = []
+        exponent = 1.0
+        if qclass is QueryClass.R_HIERARCHICAL:
+            notes.append(
+                "r-hierarchical: linear-time instance reduction first "
+                "(footnote 2), then the hierarchical sweep"
+            )
+        notes.append("O(N log N + K), optimal under 3SUM (Theorem 6 / 14)")
+    elif qclass is QueryClass.ACYCLIC:
+        algorithm = "timefirst"
+        alternatives = []
+        exponent = 2.0
+        if guarded:
+            algorithm = "hybrid-interval"
+            alternatives.append("timefirst")
+            notes.append(
+                "guarded partition exists: interval-join residuals "
+                "(O(N^1.5 + K) for line joins)"
+            )
+        if h == 2:
+            alternatives.append("hybrid")
+            notes.append("hhtw = 2: hierarchical-GHD HYBRID is competitive")
+    else:  # CYCLIC
+        algorithm = "hybrid"
+        alternatives = []
+        exponent = min(f + 1, h)
+        if f + 1 <= h:
+            alternatives.append("timefirst")
+            notes.append("fhtw + 1 <= hhtw: TIMEFIRST over the GHD also matches")
+        if guarded:
+            alternatives.append("hybrid-interval")
+            notes.append("guarded simplification applies to the GHD")
+
+    return Plan(
+        query=query,
+        query_class=qclass,
+        algorithm=algorithm,
+        alternatives=alternatives,
+        fhtw=f,
+        hhtw=h,
+        exponent=exponent,
+        guarded=guarded,
+        notes=notes,
+    )

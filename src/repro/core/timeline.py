@@ -1,0 +1,150 @@
+"""Timelines: how quantities evolve along the time axis.
+
+Durability analysis often needs more than a single count: *when* were
+the patterns valid, how many held simultaneously, when did the join's
+result set peak? This module builds concurrency timelines from interval
+collections with one endpoint sweep (O(n log n)):
+
+* :func:`concurrency_timeline` — number of intervals valid at each
+  instant (e.g. live join results over time);
+* :func:`result_timeline` — the same, directly from a
+  :class:`~repro.core.result.JoinResultSet`;
+* :class:`Timeline` — the resulting function, with peak / value lookup /
+  integration / sampling helpers.
+
+Closed intervals make the concurrency function subtle: at a shared
+endpoint both the ending and the starting interval count, so the value
+*at* an event instant can exceed the value on either side. The timeline
+therefore stores, per event instant, the value exactly at that instant
+and the value on the open gap to the next instant.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .interval import Interval, Number
+from .result import JoinResultSet
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A step function with distinguished values at its event instants.
+
+    ``points[i]`` is an event instant; ``at_points[i]`` the function
+    value exactly there; ``between[i]`` the value on the open interval
+    ``(points[i], points[i+1])`` (and ``between[-1]`` past the last
+    point, always 0 for concurrency timelines). Before the first point
+    the value is 0.
+    """
+
+    points: Tuple[Number, ...]
+    at_points: Tuple[float, ...]
+    between: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.at_points) or (
+            self.points and len(self.between) != len(self.points)
+        ):
+            raise ValueError("points / at_points / between must align")
+
+    # ------------------------------------------------------------------
+    def value_at(self, t: Number) -> float:
+        """Function value at instant ``t``."""
+        if not self.points:
+            return 0.0
+        idx = bisect.bisect_left(self.points, t)
+        if idx < len(self.points) and self.points[idx] == t:
+            return self.at_points[idx]
+        if idx == 0:
+            return 0.0
+        return self.between[idx - 1]
+
+    def peak(self) -> Tuple[Number, float]:
+        """(instant, value) of the maximum (earliest among ties).
+
+        The maximum of a concurrency timeline is always attained at an
+        event instant (values can only drop strictly between events).
+        """
+        if not self.points:
+            return (0, 0.0)
+        best_val = max(self.at_points)
+        for point, value in zip(self.points, self.at_points):
+            if value == best_val:
+                return (point, value)
+        return (self.points[0], self.at_points[0])  # pragma: no cover
+
+    def integral(self) -> float:
+        """∫ f dt (event instants have measure zero)."""
+        total = 0.0
+        for i in range(len(self.points) - 1):
+            total += self.between[i] * (self.points[i + 1] - self.points[i])
+        return total
+
+    def support(self) -> Interval:
+        """Smallest interval outside which the function is 0."""
+        if not self.points:
+            return Interval(0, 0)
+        return Interval(self.points[0], self.points[-1])
+
+    def sample(self, instants: Sequence[Number]) -> List[float]:
+        """Function values at the given instants."""
+        return [self.value_at(t) for t in instants]
+
+    def segments(self) -> List[Tuple[Number, Number, float]]:
+        """(start, end, value) of every open inter-event segment."""
+        out = []
+        for i in range(len(self.points) - 1):
+            out.append((self.points[i], self.points[i + 1], self.between[i]))
+        return out
+
+    def nonzero_segments(self) -> List[Tuple[Number, Number, float]]:
+        return [(s, e, v) for s, e, v in self.segments() if v != 0]
+
+
+def concurrency_timeline(intervals: Iterable[Interval]) -> Timeline:
+    """How many of the given closed intervals are valid at each instant.
+
+    Closed-interval semantics: at a shared endpoint both the ending and
+    the starting interval count (the value *at* an instant includes
+    intervals ending there; the value just after excludes them).
+    """
+    events: List[Tuple[Number, int]] = []
+    for iv in intervals:
+        events.append((iv.lo, +1))
+        events.append((iv.hi, -1))
+    if not events:
+        return Timeline((), (), ())
+    events.sort(key=lambda e: (e[0], -e[1]))  # starts before ends at ties
+    points: List[Number] = []
+    at_points: List[float] = []
+    between: List[float] = []
+    current = 0
+    idx = 0
+    n = len(events)
+    while idx < n:
+        t = events[idx][0]
+        starts = ends = 0
+        while idx < n and events[idx][0] == t:
+            if events[idx][1] > 0:
+                starts += 1
+            else:
+                ends += 1
+            idx += 1
+        points.append(t)
+        at_points.append(float(current + starts))
+        current = current + starts - ends
+        between.append(float(current))
+    return Timeline(tuple(points), tuple(at_points), tuple(between))
+
+
+def result_timeline(results: JoinResultSet) -> Timeline:
+    """Concurrency timeline of a join result set's valid intervals."""
+    return concurrency_timeline(iv for _, iv in results)
+
+
+def busiest_instant(results: JoinResultSet) -> Tuple[Number, float]:
+    """The instant when the most results were simultaneously valid."""
+    return result_timeline(results).peak()

@@ -1,0 +1,156 @@
+"""An addressable binary min-heap with decrease-key and delete.
+
+Section 3.2 of the paper stores the tuples of each group of ``X_u`` in a
+min-heap keyed by the right endpoint ``t+`` of their valid intervals, and
+the sweep needs to delete arbitrary tuples when their intervals expire.
+Python's :mod:`heapq` cannot delete by handle, so this module provides a
+classic array-backed binary heap with a position index.
+
+Entries are ``(key, item)`` pairs; ``item`` must be hashable and unique
+within the heap (re-inserting an existing item raises).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+T = TypeVar("T", bound=Hashable)
+
+
+class AddressableHeap(Generic[K, T]):
+    """Binary min-heap addressable by item."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self) -> None:
+        self._data: List[Tuple[K, T]] = []
+        self._pos: Dict[T, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._pos
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def push(self, key: K, item: T) -> None:
+        """Insert ``item`` with priority ``key``; O(log n)."""
+        if item in self._pos:
+            raise KeyError(f"item {item!r} already in heap")
+        self._data.append((key, item))
+        self._pos[item] = len(self._data) - 1
+        self._sift_up(len(self._data) - 1)
+
+    def peek(self) -> Tuple[K, T]:
+        """Smallest ``(key, item)`` without removing it; O(1)."""
+        if not self._data:
+            raise IndexError("peek from empty heap")
+        return self._data[0]
+
+    def pop(self) -> Tuple[K, T]:
+        """Remove and return the smallest ``(key, item)``; O(log n)."""
+        if not self._data:
+            raise IndexError("pop from empty heap")
+        top = self._data[0]
+        self._remove_at(0)
+        return top
+
+    def remove(self, item: T) -> K:
+        """Delete ``item`` by handle, returning its key; O(log n)."""
+        idx = self._pos.get(item)
+        if idx is None:
+            raise KeyError(f"item {item!r} not in heap")
+        key = self._data[idx][0]
+        self._remove_at(idx)
+        return key
+
+    def update_key(self, item: T, key: K) -> None:
+        """Change ``item``'s priority (increase or decrease); O(log n)."""
+        idx = self._pos.get(item)
+        if idx is None:
+            raise KeyError(f"item {item!r} not in heap")
+        old = self._data[idx][0]
+        self._data[idx] = (key, item)
+        if key < old:  # type: ignore[operator]
+            self._sift_up(idx)
+        else:
+            self._sift_down(idx)
+
+    def key_of(self, item: T) -> K:
+        """Current priority of ``item``; O(1)."""
+        idx = self._pos.get(item)
+        if idx is None:
+            raise KeyError(f"item {item!r} not in heap")
+        return self._data[idx][0]
+
+    def min_key(self) -> Optional[K]:
+        """Smallest key, or ``None`` when empty; O(1)."""
+        return self._data[0][0] if self._data else None
+
+    def items(self) -> List[Tuple[K, T]]:
+        """All entries in heap (not sorted) order."""
+        return list(self._data)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _remove_at(self, idx: int) -> None:
+        last = len(self._data) - 1
+        item = self._data[idx][1]
+        if idx != last:
+            self._data[idx] = self._data[last]
+            self._pos[self._data[idx][1]] = idx
+        self._data.pop()
+        del self._pos[item]
+        if idx < len(self._data):
+            self._sift_down(idx)
+            self._sift_up(idx)
+
+    def _sift_up(self, idx: int) -> None:
+        data = self._data
+        entry = data[idx]
+        while idx > 0:
+            parent = (idx - 1) >> 1
+            if data[parent][0] <= entry[0]:  # type: ignore[operator]
+                break
+            data[idx] = data[parent]
+            self._pos[data[idx][1]] = idx
+            idx = parent
+        data[idx] = entry
+        self._pos[entry[1]] = idx
+
+    def _sift_down(self, idx: int) -> None:
+        data = self._data
+        n = len(data)
+        entry = data[idx]
+        while True:
+            child = 2 * idx + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and data[right][0] < data[child][0]:  # type: ignore[operator]
+                child = right
+            if entry[0] <= data[child][0]:  # type: ignore[operator]
+                break
+            data[idx] = data[child]
+            self._pos[data[idx][1]] = idx
+            idx = child
+        data[idx] = entry
+        self._pos[entry[1]] = idx
+
+    def check_invariant(self) -> bool:
+        """Heap-order + index consistency check (for tests)."""
+        for i in range(1, len(self._data)):
+            parent = (i - 1) >> 1
+            if self._data[parent][0] > self._data[i][0]:  # type: ignore[operator]
+                return False
+        for item, idx in self._pos.items():
+            if self._data[idx][1] != item:
+                return False
+        return len(self._pos) == len(self._data)

@@ -1,0 +1,267 @@
+"""Interval trees: stabbing and overlap queries over interval collections.
+
+Section 4.2 stores each group of ``R_1``/``R_3`` tuples "in an interval
+tree by their validity intervals" so the HYBRID-INTERVAL algorithm can
+find, for a probe interval, exactly the stored intervals overlapping it in
+``O(log n + k)``.
+
+Two structures are provided:
+
+* :class:`StaticIntervalTree` — a classic centered interval tree built once
+  over a list of ``(interval, payload)`` items; supports stabbing queries
+  and overlap queries. Used when a group is built en bloc.
+* :class:`DynamicIntervalIndex` — an insert/delete-capable index based on a
+  sorted list of (lo, hi) with an augmented max-hi skip structure realized
+  as buckets; simpler than a rebalancing tree, with O(√n) updates and
+  O(√n + k) queries — plenty for the group sizes the algorithms see, and
+  far faster in practice than a pointer-based pure-Python AVL tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from ..core.interval import Interval, Number
+
+P = TypeVar("P")
+Item = Tuple[Interval, P]
+
+
+class StaticIntervalTree(Generic[P]):
+    """Centered interval tree over a fixed collection of items.
+
+    Build: O(n log n). Overlap query: O(log n + k). The tree recursively
+    picks the median endpoint as a center; intervals containing the center
+    stay at the node (sorted by lo ascending and hi descending), the rest
+    split into left/right subtrees.
+    """
+
+    __slots__ = ("_center", "_by_lo", "_by_hi", "_left", "_right", "_size")
+
+    def __init__(self, items: Sequence[Item]) -> None:
+        self._size = len(items)
+        if not items:
+            self._center = None
+            self._by_lo: List[Item] = []
+            self._by_hi: List[Item] = []
+            self._left: Optional[StaticIntervalTree[P]] = None
+            self._right: Optional[StaticIntervalTree[P]] = None
+            return
+        endpoints: List[Number] = []
+        for iv, _ in items:
+            endpoints.append(iv.lo)
+            endpoints.append(iv.hi)
+        endpoints.sort()
+        center = endpoints[len(endpoints) // 2]
+        here: List[Item] = []
+        left: List[Item] = []
+        right: List[Item] = []
+        for item in items:
+            iv = item[0]
+            if iv.hi < center:
+                left.append(item)
+            elif iv.lo > center:
+                right.append(item)
+            else:
+                here.append(item)
+        self._center = center
+        self._by_lo = sorted(here, key=lambda it: it[0].lo)
+        self._by_hi = sorted(here, key=lambda it: -it[0].hi)
+        self._left = StaticIntervalTree(left) if left else None
+        self._right = StaticIntervalTree(right) if right else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def stab(self, t: Number) -> List[Item]:
+        """All items whose interval contains instant ``t``."""
+        out: List[Item] = []
+        self._stab(t, out)
+        return out
+
+    def _stab(self, t: Number, out: List[Item]) -> None:
+        if self._center is None:
+            return
+        if t < self._center:
+            for item in self._by_lo:
+                if item[0].lo > t:
+                    break
+                out.append(item)
+            if self._left is not None:
+                self._left._stab(t, out)
+        elif t > self._center:
+            for item in self._by_hi:
+                if item[0].hi < t:
+                    break
+                out.append(item)
+            if self._right is not None:
+                self._right._stab(t, out)
+        else:
+            out.extend(self._by_lo)
+
+    def overlapping(self, probe: Interval) -> List[Item]:
+        """All items whose interval intersects ``probe``."""
+        out: List[Item] = []
+        self._overlap(probe, out)
+        return out
+
+    def _overlap(self, probe: Interval, out: List[Item]) -> None:
+        if self._center is None:
+            return
+        if probe.hi < self._center:
+            # Node intervals all contain center > probe.hi; they overlap
+            # probe iff their lo <= probe.hi.
+            for item in self._by_lo:
+                if item[0].lo > probe.hi:
+                    break
+                out.append(item)
+            if self._left is not None:
+                self._left._overlap(probe, out)
+        elif probe.lo > self._center:
+            for item in self._by_hi:
+                if item[0].hi < probe.lo:
+                    break
+                out.append(item)
+            if self._right is not None:
+                self._right._overlap(probe, out)
+        else:
+            # Probe spans the center: every node interval overlaps.
+            out.extend(self._by_lo)
+            if self._left is not None:
+                self._left._overlap(probe, out)
+            if self._right is not None:
+                self._right._overlap(probe, out)
+
+
+class DynamicIntervalIndex(Generic[P]):
+    """Insert/delete interval index with bucketed sorted storage.
+
+    Items are kept in buckets sorted by ``lo``; each bucket tracks the max
+    ``hi`` it contains, so an overlap query skips whole buckets that end
+    before the probe starts and stops at the first bucket that starts after
+    the probe ends. Bucket size is rebalanced to ~2·√n on demand.
+    """
+
+    __slots__ = ("_buckets", "_maxhi", "_size", "_pending_rebuild")
+
+    def __init__(self, items: Iterable[Item] = ()) -> None:
+        self._buckets: List[List[Item]] = []
+        self._maxhi: List[Number] = []
+        self._size = 0
+        self._pending_rebuild = False
+        initial = sorted(items, key=lambda it: (it[0].lo, it[0].hi))
+        if initial:
+            self._bulk_load(initial)
+
+    def _bulk_load(self, items: List[Item]) -> None:
+        self._size = len(items)
+        per = max(8, int(2 * math.sqrt(self._size)))
+        self._buckets = [items[i : i + per] for i in range(0, len(items), per)]
+        self._maxhi = [max(it[0].hi for it in b) for b in self._buckets]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _locate_bucket(self, lo: Number) -> int:
+        """Index of the bucket an interval starting at ``lo`` belongs to."""
+        left, right = 0, len(self._buckets)
+        while left < right:
+            mid = (left + right) // 2
+            if self._buckets[mid][0][0].lo <= lo:
+                left = mid + 1
+            else:
+                right = mid
+        return max(0, left - 1)
+
+    def insert(self, interval: Interval, payload: P) -> None:
+        """Insert an item; amortized O(√n)."""
+        item = (interval, payload)
+        if not self._buckets:
+            self._buckets = [[item]]
+            self._maxhi = [interval.hi]
+            self._size = 1
+            return
+        bi = self._locate_bucket(interval.lo)
+        bucket = self._buckets[bi]
+        # Insertion position inside the bucket (sorted by lo, then hi).
+        key = (interval.lo, interval.hi)
+        pos = 0
+        for pos, existing in enumerate(bucket):  # small bucket: linear is fine
+            if (existing[0].lo, existing[0].hi) >= key:
+                break
+        else:
+            pos = len(bucket)
+        bucket.insert(pos, item)
+        if interval.hi > self._maxhi[bi]:
+            self._maxhi[bi] = interval.hi
+        self._size += 1
+        limit = max(16, int(4 * math.sqrt(self._size)))
+        if len(bucket) > limit:
+            self._split_bucket(bi)
+
+    def _split_bucket(self, bi: int) -> None:
+        bucket = self._buckets[bi]
+        mid = len(bucket) // 2
+        left, right = bucket[:mid], bucket[mid:]
+        self._buckets[bi : bi + 1] = [left, right]
+        self._maxhi[bi : bi + 1] = [
+            max(it[0].hi for it in left),
+            max(it[0].hi for it in right),
+        ]
+
+    def remove(self, interval: Interval, payload: P) -> None:
+        """Delete an exact (interval, payload) item; KeyError if absent."""
+        if self._buckets:
+            bi = self._locate_bucket(interval.lo)
+            # The item could sit in this bucket or (rarely, after deletions
+            # emptied prefixes) a neighbour; scan outward.
+            for idx in self._scan_order(bi):
+                bucket = self._buckets[idx]
+                if bucket and bucket[0][0].lo > interval.lo:
+                    break
+                try:
+                    bucket.remove((interval, payload))
+                except ValueError:
+                    continue
+                self._size -= 1
+                if not bucket:
+                    del self._buckets[idx]
+                    del self._maxhi[idx]
+                elif self._maxhi[idx] == interval.hi:
+                    self._maxhi[idx] = max(it[0].hi for it in bucket)
+                return
+        raise KeyError(f"({interval!r}, {payload!r}) not in index")
+
+    def _scan_order(self, bi: int) -> Iterator[int]:
+        yield bi
+        for idx in range(bi + 1, len(self._buckets)):
+            yield idx
+
+    def overlapping(self, probe: Interval) -> List[Item]:
+        """All stored items whose interval intersects ``probe``."""
+        out: List[Item] = []
+        for bi, bucket in enumerate(self._buckets):
+            if not bucket:
+                continue
+            if bucket[0][0].lo > probe.hi:
+                break
+            if self._maxhi[bi] < probe.lo:
+                continue
+            for interval, payload in bucket:
+                if interval.lo > probe.hi:
+                    break
+                if interval.hi >= probe.lo:
+                    out.append((interval, payload))
+        return out
+
+    def stab(self, t: Number) -> List[Item]:
+        """All stored items containing instant ``t``."""
+        return self.overlapping(Interval(t, t))
+
+    def items(self) -> List[Item]:
+        """All items, sorted by (lo, hi)."""
+        out: List[Item] = []
+        for bucket in self._buckets:
+            out.extend(bucket)
+        return out

@@ -1,0 +1,103 @@
+"""A bisect-backed sorted container standing in for a balanced BST.
+
+The paper's §3.2 structure keeps "the set of distinct values over
+attributes ``V_{p(u)}`` ... in a binary-search tree as indexes", and §4.2
+sorts distinct join-key values the same way. In Python a sorted array with
+:mod:`bisect` gives the same O(log n) search; insertion is O(n) worst case
+but with the small, churning sets these indexes hold it is faster than any
+pure-Python tree. The interface below is the subset the algorithms use.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SortedList(Generic[T]):
+    """A sorted multiset over a totally ordered element type."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._data: List[T] = sorted(items)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._data)
+
+    def __getitem__(self, idx: int) -> T:
+        return self._data[idx]
+
+    def __contains__(self, item: T) -> bool:
+        idx = bisect.bisect_left(self._data, item)
+        return idx < len(self._data) and self._data[idx] == item
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SortedList({self._data!r})"
+
+    # ------------------------------------------------------------------
+    def add(self, item: T) -> None:
+        """Insert ``item`` keeping order; duplicates allowed."""
+        bisect.insort(self._data, item)
+
+    def remove(self, item: T) -> None:
+        """Remove one occurrence of ``item``; KeyError if absent."""
+        idx = bisect.bisect_left(self._data, item)
+        if idx >= len(self._data) or self._data[idx] != item:
+            raise KeyError(f"{item!r} not in SortedList")
+        self._data.pop(idx)
+
+    def discard(self, item: T) -> bool:
+        """Remove one occurrence if present; returns whether it was."""
+        idx = bisect.bisect_left(self._data, item)
+        if idx < len(self._data) and self._data[idx] == item:
+            self._data.pop(idx)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Order queries
+    # ------------------------------------------------------------------
+    def index_left(self, item: T) -> int:
+        """Number of elements strictly below ``item``."""
+        return bisect.bisect_left(self._data, item)
+
+    def index_right(self, item: T) -> int:
+        """Number of elements ≤ ``item``."""
+        return bisect.bisect_right(self._data, item)
+
+    def first_geq(self, item: T) -> Optional[T]:
+        """Smallest element ≥ ``item`` (None if no such element)."""
+        idx = bisect.bisect_left(self._data, item)
+        return self._data[idx] if idx < len(self._data) else None
+
+    def last_leq(self, item: T) -> Optional[T]:
+        """Largest element ≤ ``item`` (None if no such element)."""
+        idx = bisect.bisect_right(self._data, item)
+        return self._data[idx - 1] if idx > 0 else None
+
+    def irange(self, lo: T, hi: T) -> Iterator[T]:
+        """Iterate elements in ``[lo, hi]`` inclusive."""
+        start = bisect.bisect_left(self._data, lo)
+        stop = bisect.bisect_right(self._data, hi)
+        for i in range(start, stop):
+            yield self._data[i]
+
+    def count_range(self, lo: T, hi: T) -> int:
+        """Number of elements in ``[lo, hi]`` inclusive."""
+        return bisect.bisect_right(self._data, hi) - bisect.bisect_left(self._data, lo)
+
+    def min(self) -> T:
+        if not self._data:
+            raise IndexError("min of empty SortedList")
+        return self._data[0]
+
+    def max(self) -> T:
+        if not self._data:
+            raise IndexError("max of empty SortedList")
+        return self._data[-1]

@@ -1,0 +1,110 @@
+"""Hash tries over relations, the access structure behind GenericJoin.
+
+Worst-case-optimal join algorithms probe relations attribute by attribute
+along a global order: "which values of attribute ``x`` extend this prefix?"
+A :class:`RelationTrie` answers that in O(1) expected time per level by
+nesting dictionaries keyed on the relation's attributes in the chosen
+order. Leaves optionally carry payloads (here: valid intervals) so the
+temporal HYBRID algorithm can recover intervals of fully-bound tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Values = Tuple[object, ...]
+
+
+class RelationTrie:
+    """A nested-dict trie over a relation's tuples for one attribute order.
+
+    Parameters
+    ----------
+    attrs:
+        The relation's attributes in trie-level order (a permutation of the
+        relation schema, chosen as the restriction of the global attribute
+        order to the relation).
+    rows:
+        ``(values, payload)`` pairs where ``values`` is aligned with
+        ``attrs``. Payloads of duplicate value tuples are collected in a
+        list (projections may map several tuples to one trie path).
+    """
+
+    __slots__ = ("attrs", "_root", "_count")
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        rows: Iterable[Tuple[Values, object]] = (),
+    ) -> None:
+        self.attrs: Tuple[str, ...] = tuple(attrs)
+        self._root: Dict[object, object] = {}
+        self._count = 0
+        for values, payload in rows:
+            self.insert(values, payload)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, values: Values, payload: object = None) -> None:
+        """Insert one tuple (aligned with ``attrs``) with a payload."""
+        if len(values) != len(self.attrs):
+            raise ValueError(
+                f"tuple {values} has arity {len(values)}, trie expects "
+                f"{len(self.attrs)}"
+            )
+        node = self._root
+        for v in values[:-1]:
+            node = node.setdefault(v, {})  # type: ignore[assignment]
+        leaf = node.setdefault(values[-1], [])
+        leaf.append(payload)  # type: ignore[union-attr]
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    # Probes used by GenericJoin
+    # ------------------------------------------------------------------
+    def children(self, prefix: Values) -> Optional[Dict[object, object]]:
+        """Child map after following ``prefix``; None if the prefix dies."""
+        node: object = self._root
+        for v in prefix:
+            if not isinstance(node, dict):
+                return None
+            node = node.get(v)
+            if node is None:
+                return None
+        return node if isinstance(node, dict) else None
+
+    def candidate_values(self, prefix: Values) -> Optional[List[object]]:
+        """Values of the next attribute extending ``prefix`` (None = dead)."""
+        node = self.children(prefix)
+        if node is None:
+            return None
+        return list(node.keys())
+
+    def candidate_count(self, prefix: Values) -> int:
+        """Number of next-level values under ``prefix`` (0 if dead)."""
+        node = self.children(prefix)
+        return len(node) if node else 0
+
+    def has_prefix(self, prefix: Values) -> bool:
+        """True iff some tuple extends ``prefix``."""
+        node: object = self._root
+        for v in prefix:
+            if isinstance(node, dict):
+                node = node.get(v)
+            else:
+                return False
+            if node is None:
+                return False
+        return True
+
+    def payloads(self, values: Values) -> List[object]:
+        """Payloads stored at a fully-bound tuple (empty list if absent)."""
+        node: object = self._root
+        for v in values:
+            if not isinstance(node, (dict,)):
+                return []
+            node = node.get(v)  # type: ignore[union-attr]
+            if node is None:
+                return []
+        return node if isinstance(node, list) else []

@@ -1,0 +1,48 @@
+"""Non-temporal join substrate: Yannakakis, GenericJoin, covers, GHDs."""
+
+from .cover import agm_bound, fractional_edge_cover, integral_edge_cover, rho
+from .generic_join import choose_attribute_order, generic_join, generic_join_with_order
+from .ghd import (
+    GHD,
+    GuardedPartition,
+    enumerate_partition_ghds,
+    fhtw,
+    fhtw_ghd,
+    find_guarded_partition,
+    ghd_from_partition,
+    guarded_ghd,
+    is_guarded,
+    hhtw,
+    hhtw_ghd,
+    trivial_ghd,
+)
+from .hash_join import estimate_join_size, hash_join, lookup_index, semijoin, shared_attrs
+from .yannakakis import yannakakis
+
+__all__ = [
+    "GHD",
+    "GuardedPartition",
+    "agm_bound",
+    "choose_attribute_order",
+    "enumerate_partition_ghds",
+    "estimate_join_size",
+    "fhtw",
+    "fhtw_ghd",
+    "find_guarded_partition",
+    "fractional_edge_cover",
+    "generic_join",
+    "generic_join_with_order",
+    "ghd_from_partition",
+    "guarded_ghd",
+    "is_guarded",
+    "hash_join",
+    "hhtw",
+    "hhtw_ghd",
+    "integral_edge_cover",
+    "lookup_index",
+    "rho",
+    "semijoin",
+    "shared_attrs",
+    "trivial_ghd",
+    "yannakakis",
+]

@@ -1,0 +1,99 @@
+"""Randomized instance generators for testing and experimentation.
+
+The library's own suite differential-tests every algorithm against a
+brute-force oracle on instances from these generators; they are exported
+so downstream users extending the toolkit (new sweep states, new
+decompositions) can reuse the same safety net:
+
+>>> import random
+>>> from repro import JoinQuery, naive_join, temporal_join
+>>> from repro.testing import random_instance
+>>> rng = random.Random(0)
+>>> query = JoinQuery.cycle(4)
+>>> db = random_instance(query, rng)
+>>> got = temporal_join(query, db, algorithm="hybrid")
+>>> got.same_results(naive_join(query, db))
+True
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from .core.interval import Interval
+from .core.query import JoinQuery
+from .core.relation import TemporalRelation
+
+
+def random_temporal_relation(
+    name: str,
+    attrs: Sequence[str],
+    n: int,
+    domain: int,
+    time_span: int,
+    rng: random.Random,
+    max_duration: Optional[int] = None,
+) -> TemporalRelation:
+    """A random temporal relation with ``min(n, domain^arity)`` distinct rows.
+
+    Values are drawn uniformly from ``range(domain)`` per attribute;
+    intervals start uniformly in ``[0, time_span)`` with durations up to
+    ``max_duration`` (default ``time_span // 2``). Deterministic given
+    the supplied ``rng``.
+    """
+    n = min(n, domain ** len(attrs))
+    max_duration = max_duration or max(1, time_span // 2)
+    rows: Dict = {}
+    while len(rows) < n:
+        values = tuple(rng.randrange(domain) for _ in attrs)
+        if values in rows:
+            continue
+        lo = rng.randrange(time_span)
+        rows[values] = Interval(lo, lo + rng.randrange(max_duration))
+    return TemporalRelation(name, attrs, list(rows.items()))
+
+
+def random_instance(
+    query: JoinQuery,
+    rng: random.Random,
+    n: int = 12,
+    domain: int = 4,
+    time_span: int = 40,
+    max_duration: Optional[int] = None,
+) -> Dict[str, TemporalRelation]:
+    """A random temporal instance of ``query`` (one relation per edge)."""
+    return {
+        name: random_temporal_relation(
+            name, query.edge(name), n, domain, time_span, rng,
+            max_duration=max_duration,
+        )
+        for name in query.edge_names
+    }
+
+
+def differential_check(
+    query: JoinQuery,
+    database: Dict[str, TemporalRelation],
+    algorithms: Sequence[str] = ("timefirst", "baseline", "hybrid", "joinfirst"),
+    tau: float = 0,
+) -> None:
+    """Assert that every listed algorithm matches the brute-force oracle.
+
+    Raises :class:`AssertionError` naming the first diverging algorithm.
+    Algorithms that are structurally inapplicable (``PlanError``) are
+    skipped.
+    """
+    from .algorithms.naive import naive_join
+    from .algorithms.registry import temporal_join
+    from .core.errors import PlanError
+
+    want = naive_join(query, database, tau=tau).normalized()
+    for algorithm in algorithms:
+        try:
+            got = temporal_join(query, database, tau=tau, algorithm=algorithm)
+        except PlanError:
+            continue
+        assert got.normalized() == want, (
+            f"{algorithm} diverges from the oracle on {query!r} (tau={tau})"
+        )

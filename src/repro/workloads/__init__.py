@@ -1,0 +1,25 @@
+"""Workload generators: the paper's synthetic, graph, and benchmark datasets."""
+
+from . import dblp, flights, graphs, ldbc, stats, synthetic, tpc_bih, tpce
+from .stats import workload_stats
+from .graphs import TemporalGraph, count_durable_patterns, pattern_query, random_temporal_graph
+from .synthetic import SyntheticConfig, expected_result_count, generate
+
+__all__ = [
+    "SyntheticConfig",
+    "TemporalGraph",
+    "count_durable_patterns",
+    "dblp",
+    "expected_result_count",
+    "flights",
+    "generate",
+    "graphs",
+    "ldbc",
+    "pattern_query",
+    "random_temporal_graph",
+    "stats",
+    "workload_stats",
+    "synthetic",
+    "tpc_bih",
+    "tpce",
+]

@@ -1,0 +1,187 @@
+"""Workload characterization: the statistics the paper's analysis cites.
+
+Section 6 explains every performance result through data characteristics
+— join-key multiplicities, intermediate blow-up potential, interval
+length distribution, temporal overlap density. This module computes
+those statistics for any (query, database) pair, so workloads can be
+inspected (and the generators validated) with numbers rather than vibes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.interval import Number
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+from ..nontemporal.hash_join import shared_attrs
+
+
+@dataclass
+class RelationStats:
+    """Per-relation shape numbers."""
+
+    name: str
+    rows: int
+    min_duration: Number
+    median_duration: Number
+    max_duration: Number
+    time_span: Tuple[Number, Number]
+    max_key_multiplicity: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class PairStats:
+    """Per-joinable-pair numbers (the BASELINE blow-up predictors)."""
+
+    left: str
+    right: str
+    on: Tuple[str, ...]
+    value_join_size: int  # exact count of value-matching pairs
+    temporal_join_size: int  # pairs that also overlap in time
+    temporal_selectivity: float  # ratio of the two
+
+
+@dataclass
+class WorkloadStats:
+    """Everything, with a report renderer."""
+
+    input_size: int
+    relations: List[RelationStats]
+    pairs: List[PairStats]
+
+    def blowup_factor(self) -> float:
+        """max pairwise temporal join size / N — BASELINE's pain index."""
+        if not self.pairs or self.input_size == 0:
+            return 0.0
+        return max(p.temporal_join_size for p in self.pairs) / self.input_size
+
+    def report(self) -> str:
+        lines = [f"input size N = {self.input_size}"]
+        for rel in self.relations:
+            mult = ", ".join(
+                f"{a}:{m}" for a, m in sorted(rel.max_key_multiplicity.items())
+            )
+            lines.append(
+                f"  {rel.name}: {rel.rows} rows, durations "
+                f"[{rel.min_duration} / {rel.median_duration} / "
+                f"{rel.max_duration}], span {rel.time_span}, "
+                f"max multiplicity {{{mult}}}"
+            )
+        for pair in self.pairs:
+            lines.append(
+                f"  {pair.left} ⋈ {pair.right} on ({', '.join(pair.on)}): "
+                f"{pair.value_join_size} value pairs, "
+                f"{pair.temporal_join_size} temporal "
+                f"(selectivity {pair.temporal_selectivity:.2f})"
+            )
+        lines.append(f"  pairwise blow-up factor: {self.blowup_factor():.1f}× N")
+        return "\n".join(lines)
+
+
+def relation_stats(relation: TemporalRelation) -> RelationStats:
+    """Shape numbers for one relation."""
+    durations = sorted(iv.duration for _, iv in relation)
+    lows = [iv.lo for _, iv in relation]
+    highs = [iv.hi for _, iv in relation]
+    multiplicity = {}
+    for attr in relation.attrs:
+        groups = relation.group_by((attr,))
+        multiplicity[attr] = max((len(g) for g in groups.values()), default=0)
+    if durations:
+        dmin, dmax = durations[0], durations[-1]
+        dmed = statistics.median(durations)
+        span = (min(lows), max(highs))
+    else:
+        dmin = dmed = dmax = 0
+        span = (0, 0)
+    return RelationStats(
+        name=relation.name,
+        rows=len(relation),
+        min_duration=dmin,
+        median_duration=dmed,
+        max_duration=dmax,
+        time_span=span,
+        max_key_multiplicity=multiplicity,
+    )
+
+
+def pair_stats(
+    left: TemporalRelation, right: TemporalRelation
+) -> PairStats:
+    """Exact value/temporal pairwise join sizes for one relation pair.
+
+    Counts without materializing: groups both sides by the join key and
+    sums the per-key products (value) and per-key overlap counts
+    (temporal, via a sort-and-sweep per key).
+    """
+    on = tuple(shared_attrs(left, right))
+    left_groups = left.group_by(on)
+    right_groups = right.group_by(on)
+    value_pairs = 0
+    temporal_pairs = 0
+    for key, lrows in left_groups.items():
+        rrows = right_groups.get(key)
+        if not rrows:
+            continue
+        value_pairs += len(lrows) * len(rrows)
+        temporal_pairs += _overlap_count(
+            sorted((iv.lo, iv.hi) for _, iv in lrows),
+            sorted((iv.lo, iv.hi) for _, iv in rrows),
+        )
+    selectivity = temporal_pairs / value_pairs if value_pairs else 0.0
+    return PairStats(
+        left=left.name,
+        right=right.name,
+        on=on,
+        value_join_size=value_pairs,
+        temporal_join_size=temporal_pairs,
+        temporal_selectivity=selectivity,
+    )
+
+
+def _overlap_count(
+    lefts: List[Tuple[Number, Number]], rights: List[Tuple[Number, Number]]
+) -> int:
+    """Number of overlapping pairs between two start-sorted interval lists."""
+    count = 0
+    i = j = 0
+    nl, nr = len(lefts), len(rights)
+    # Forward-scan counting (same sweep as the FS join, counting only).
+    while i < nl and j < nr:
+        if lefts[i][0] <= rights[j][0]:
+            hi = lefts[i][1]
+            k = j
+            while k < nr and rights[k][0] <= hi:
+                count += 1
+                k += 1
+            i += 1
+        else:
+            hi = rights[j][1]
+            k = i
+            while k < nl and lefts[k][0] <= hi:
+                count += 1
+                k += 1
+            j += 1
+    return count
+
+
+def workload_stats(
+    query: JoinQuery, database: Mapping[str, TemporalRelation]
+) -> WorkloadStats:
+    """Full characterization of a (query, database) pair."""
+    query.validate(database)
+    relations = [relation_stats(database[name]) for name in query.edge_names]
+    pairs = []
+    names = query.edge_names
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if shared_attrs(database[a], database[b]):
+                pairs.append(pair_stats(database[a], database[b]))
+    return WorkloadStats(
+        input_size=query.input_size(database),
+        relations=relations,
+        pairs=pairs,
+    )

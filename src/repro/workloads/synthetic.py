@@ -1,0 +1,193 @@
+"""The paper's synthetic workload: huge intermediates, tiny final results.
+
+Section 6.1: "The idea is to enlarge the intermediate temporal join size
+while keeping the final (temporal/durable) join size small, i.e., a large
+number of intermediate results are dangling without participating in
+final results."
+
+Construction, per binary-edge query (line / star / cycle):
+
+* a **dangling mass** — every *shared* attribute gets a small set of hub
+  values, every *private* attribute fans out; dangling tuples connect
+  hubs to hubs (interior/cycle edges) or fans to hubs (end/leaf edges).
+  Value-wise, every consecutive pair of relations joins in ~N^1.5
+  combinations and the full non-temporal join is enormous (this is what
+  makes JOINFIRST collapse). Interval-wise, relation ``j`` draws its
+  intervals from window ``[j·stagger, j·stagger + window]``: consecutive
+  windows overlap (so the pairwise *temporal* joins BASELINE materializes
+  stay huge) but with ``window < 2·stagger`` no three consecutive windows
+  share an instant, so the dangling mass contributes nothing to the final
+  result. (By Helly's theorem in 1D it is impossible for *all* pairs to
+  overlap while no common point exists, so some far-apart relation pairs
+  are necessarily temporally disjoint; value-based optimizers — including
+  BASELINE's System-R estimator — cannot see that, which mirrors the
+  paper's "no pairwise join ordering can easily compute the join
+  results".)
+* a **backbone** — ``n_results`` genuine results whose common-intersection
+  durations decay polynomially, so the final result count falls as τ
+  grows and reaches zero at ``max_durability`` (the paper's "0 results
+  for τ ≥ 1000").
+
+All randomness flows from an explicit seed; the same config always builds
+the same instance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.errors import QueryError
+from ..core.interval import Interval
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs of the synthetic generator (see module docstring)."""
+
+    n_dangling: int = 200
+    n_results: int = 100
+    max_durability: int = 1000
+    durability_decay: float = 3.0
+    window: int = 0  # dangling interval length; 0 = auto (see window_for)
+    stagger: int = 300  # shift between consecutive relations' windows
+    hubs_per_attr: int = 0  # 0 = auto (degree-dependent, see hub_count)
+    seed: int = 7
+
+    def hub_count(self, degree: int = 2) -> int:
+        """Hub values for a shared attribute with the given edge degree.
+
+        Junction attributes (degree 2, line/cycle interiors) get ~√D hubs
+        so hub-to-hub bridge tuples stay distinct while each junction
+        still fans out ~√D ways (pairwise joins ≈ D^1.5). High-degree
+        attributes (star centers) get very few hubs so all n relations
+        collide on them (pairwise joins ≈ D²/hubs).
+        """
+        if self.hubs_per_attr > 0:
+            return self.hubs_per_attr
+        if degree >= 3:
+            return 4
+        return max(2, int(math.isqrt(max(1, self.n_dangling))))
+
+    def window_for(self, n_relations: int) -> int:
+        """Dangling window length for an ``n_relations``-way query.
+
+        ``(n-2)·stagger + margin`` makes every (n−1) *consecutive*
+        relation windows share an instant — so BASELINE's intermediate
+        results survive (and multiply) through every binary join — while
+        the full n-way combination never has a common instant. The margin
+        (stagger/3) strictly exceeds the jitter (stagger/4), which keeps
+        both properties jitter-proof.
+        """
+        margin = self.stagger // 3
+        return max(1, (n_relations - 2)) * self.stagger + margin
+
+
+def generate(
+    query: JoinQuery, config: SyntheticConfig = SyntheticConfig()
+) -> Dict[str, TemporalRelation]:
+    """Build a synthetic temporal instance for a binary-edge query."""
+    for name in query.edge_names:
+        if len(query.edge(name)) != 2:
+            raise QueryError(
+                "the synthetic generator supports binary-edge queries "
+                f"(line/star/cycle); {name!r} has {query.edge(name)}"
+            )
+    rng = random.Random(config.seed)
+    rows: Dict[str, Dict[Tuple[object, object], Interval]] = {
+        name: {} for name in query.edge_names
+    }
+    _add_dangling_mass(query, config, rng, rows)
+    _add_backbone(query, config, rng, rows)
+    return {
+        name: TemporalRelation(name, query.edge(name), list(tuples.items()))
+        for name, tuples in rows.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Dangling mass
+# ----------------------------------------------------------------------
+def _dangling_interval(
+    config: SyntheticConfig, rng: random.Random, slot: int, window: int
+) -> Interval:
+    """Interval inside relation slot ``slot``'s window, with jitter."""
+    base = slot * config.stagger
+    jitter = rng.randrange(max(1, config.stagger // 4))
+    return Interval(base + jitter, base + jitter + window)
+
+
+def _add_dangling_mass(
+    query: JoinQuery,
+    config: SyntheticConfig,
+    rng: random.Random,
+    rows: Dict[str, Dict[Tuple[object, object], Interval]],
+) -> None:
+    hg = query.hypergraph
+    hub_counts = {
+        attr: config.hub_count(len(hg.edges_of(attr))) for attr in hg.attrs
+    }
+
+    def value(attr: str, edge_slot: int, i: int, stride: int) -> object:
+        if len(hg.edges_of(attr)) > 1:
+            # Shared attribute: hub values. The second side strides by the
+            # first side's hub count so hub-hub tuples enumerate distinct
+            # pairs for i < hubs_a · hubs_b.
+            idx = (i // stride) % hub_counts[attr]
+            return f"h_{attr}_{idx}"
+        return f"f{edge_slot}_{i}"
+
+    for slot, name in enumerate(query.edge_names):
+        a, b = query.edge(name)
+        a_shared = len(hg.edges_of(a)) > 1
+        b_shared = len(hg.edges_of(b)) > 1
+        if a_shared and b_shared:
+            count = min(config.n_dangling, hub_counts[a] * hub_counts[b])
+        else:
+            count = config.n_dangling
+        bucket = rows[name]
+        stride_b = hub_counts[a] if a_shared else 1
+        window = config.window or config.window_for(len(query.edge_names))
+        for i in range(count):
+            values = (value(a, slot, i, 1), value(b, slot, i, stride_b))
+            if values not in bucket:
+                bucket[values] = _dangling_interval(config, rng, slot, window)
+
+
+# ----------------------------------------------------------------------
+# Backbone (genuine results)
+# ----------------------------------------------------------------------
+def backbone_durations(config: SyntheticConfig) -> List[int]:
+    """Deterministic decaying durability distribution of the backbone."""
+    out = []
+    for i in range(config.n_results):
+        frac = i / max(1, config.n_results)
+        dur = int(config.max_durability * (1.0 - frac) ** config.durability_decay)
+        out.append(max(1, min(dur, config.max_durability - 1)))
+    return out
+
+
+def _add_backbone(
+    query: JoinQuery,
+    config: SyntheticConfig,
+    rng: random.Random,
+    rows: Dict[str, Dict[Tuple[object, object], Interval]],
+) -> None:
+    durations = backbone_durations(config)
+    attrs = query.attrs
+    for i, dur in enumerate(durations):
+        start = rng.randrange(config.max_durability)
+        interval = Interval(start, start + dur)
+        assignment = {x: f"b{i}_{x}" for x in attrs}
+        for name in query.edge_names:
+            ea, eb = query.edge(name)
+            rows[name][(assignment[ea], assignment[eb])] = interval
+
+
+def expected_result_count(config: SyntheticConfig, tau: float) -> int:
+    """How many backbone results survive durability threshold τ."""
+    return sum(1 for d in backbone_durations(config) if d >= tau)

@@ -1,0 +1,240 @@
+"""TPC-BiH-like bitemporal TPC-H generator and the four paper queries.
+
+TPC-BiH [50] extends TPC-H with valid-time *history*: every entity
+carries multiple versions over time ("different types of history
+classes"). The paper distills four temporal join queries (Section 6.1):
+
+* ``Q_tpc3``  = customer ⋈ orders ⋈ lineitem
+* ``Q_tpc5``  = customer ⋈ orders ⋈ lineitem ⋈ supplier
+* ``Q_tpc9``  = partsupp ⋈ lineitem ⋈ orders
+* ``Q_tpc10`` = partsupp ⋈ lineitem ⋈ orders ⋈ customer
+
+The generator models the data characteristics the paper's Figure 10/11
+discussion attributes the results to:
+
+* **Low multiplicity** on customer→orders→lineitem ("most customers only
+  place a single order, and most orders only contain one lineitem") and
+  *containment* of lineitem validity inside its order's lifetime, so
+  BASELINE's intermediates on Q_tpc3/Q_tpc5 shrink immediately to nearly
+  the final size — the regime where BASELINE wins;
+* **Explosive multiplicity** between partsupp and lineitem on
+  Q_tpc9/Q_tpc10: popular (part, supplier) pairs appear in many
+  lineitems *and* partsupp rows are version histories (short tiles), so
+  the binary temporal join partsupp ⋈ lineitem materializes many
+  version × lineitem pairs of which only a sliver survives the
+  intersection with the order's (also versioned) validity.
+
+Schemas (join attributes plus version/payload attributes, so query
+shapes match the paper's "line join queries"):
+
+* ``customer(CK, MS)``  — one row per customer lifetime;
+* ``supplier(SK, SN)``  — one row per supplier lifetime;
+* ``orders(OK, CK, ST)`` — one row per *status version* of an order;
+* ``lineitem(OK, PK, SK)`` — one row per lineitem;
+* ``partsupp(PK, SK, AQ)`` — one row per *availability version*.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.interval import Interval
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+
+
+@dataclass
+class TPCBiHConfig:
+    """Scale knobs; defaults keep a pure-Python bench in the seconds range.
+
+    Temporal layout: partsupp availability versions live (mostly) before
+    the ``boundary`` instant, order status versions after it, and
+    lineitem validity straddles the boundary. Every lineitem therefore
+    overlaps many partsupp versions *and* many order versions — both
+    binary temporal joins of Q_tpc9 are wide — while three-way overlaps
+    are rare (only the few *bridging* partsupp versions that cross the
+    boundary produce final results). Customer and supplier rows span
+    their whole lifetime, so Q_tpc3/Q_tpc5 have no such trap: their wide
+    join is the last one, whose output *is* the final result.
+    """
+
+    n_customers: int = 150
+    n_suppliers: int = 60
+    n_parts: int = 120
+    orders_per_customer: float = 1.0  # low multiplicity
+    lineitems_per_order: float = 8.0
+    popular_pairs: int = 8  # (part, supplier) pairs most lineitems use
+    popular_bias: float = 0.85  # fraction of lineitems hitting those
+    popular_versions: int = 100  # availability history of a popular pair
+    bridge_versions: int = 1  # popular versions crossing the boundary
+    tail_versions: int = 2  # history of an unpopular pair
+    order_versions: int = 10  # status versions per order
+    time_span: int = 2000
+    boundary: int = 1000
+    lineitem_length: int = 300
+    ps_version_length: int = 150
+    order_lifetime: int = 300
+    order_version_length: int = 40
+    seed: int = 50
+
+
+def generate_database(
+    config: TPCBiHConfig = TPCBiHConfig(),
+) -> Dict[str, TemporalRelation]:
+    """Build the five temporal relations."""
+    rng = random.Random(config.seed)
+    span = config.time_span
+    boundary = config.boundary
+
+    customers = [
+        ((f"c{i}", f"seg{i % 5}"), Interval(0, span))
+        for i in range(config.n_customers)
+    ]
+    suppliers = [
+        ((f"s{i}", f"nation{i % 7}"), Interval(0, span))
+        for i in range(config.n_suppliers)
+    ]
+
+    # partsupp availability histories.
+    partsupp: List[Tuple[Tuple[str, str, str], Interval]] = []
+    pairs: List[Tuple[str, str]] = []
+    for p in range(config.n_parts):
+        for s in rng.sample(
+            range(config.n_suppliers), min(rng.randrange(2, 5), config.n_suppliers)
+        ):
+            pairs.append((f"p{p}", f"s{s}"))
+    popular = rng.sample(pairs, min(config.popular_pairs, len(pairs)))
+    popular_set = set(popular)
+    vlen = config.ps_version_length
+    for pk, sk in pairs:
+        version = 0
+        if (pk, sk) in popular_set:
+            # Dense pre-boundary history, clustered so most versions
+            # overlap the lineitem window's pre-boundary half.
+            for _ in range(config.popular_versions):
+                lo = rng.randrange(max(1, boundary - 3 * vlen), boundary - vlen + 1)
+                partsupp.append(((pk, sk, f"aq{version}"), Interval(lo, lo + vlen)))
+                version += 1
+            for _ in range(config.bridge_versions):
+                lo = rng.randrange(boundary - vlen, boundary)
+                partsupp.append(((pk, sk, f"aq{version}"), Interval(lo, lo + vlen)))
+                version += 1
+        else:
+            for _ in range(config.tail_versions):
+                lo = rng.randrange(max(1, span - 2 * vlen))
+                partsupp.append(((pk, sk, f"aq{version}"), Interval(lo, lo + vlen)))
+                version += 1
+
+    orders: List[Tuple[Tuple[str, str, str], Interval]] = []
+    lineitems: List[Tuple[Tuple[str, str, str], Interval]] = []
+    order_id = 0
+    half_li = config.lineitem_length // 2
+    for c in range(config.n_customers):
+        for _ in range(_rounded(config.orders_per_customer, rng)):
+            ok = f"o{order_id}"
+            order_id += 1
+            start = boundary + rng.randrange(100)
+            end = min(start + config.order_lifetime, span)
+            for v in range(config.order_versions):
+                lo = rng.randrange(start, max(start + 1, end - config.order_version_length))
+                orders.append(
+                    ((ok, f"c{c}", f"st{v}"),
+                     Interval(lo, min(lo + config.order_version_length, span)))
+                )
+            for _ in range(_rounded(config.lineitems_per_order, rng)):
+                if rng.random() < config.popular_bias and popular:
+                    pk, sk = popular[rng.randrange(len(popular))]
+                else:
+                    pk, sk = pairs[rng.randrange(len(pairs))]
+                lo = boundary - half_li + rng.randrange(-50, 51)
+                lineitems.append(
+                    ((ok, pk, sk), Interval(max(0, lo), lo + config.lineitem_length))
+                )
+
+    def rel(name, attrs, rows):
+        seen = {}
+        for values, interval in rows:
+            if values not in seen:
+                seen[values] = interval
+        return TemporalRelation(name, attrs, list(seen.items()))
+
+    return {
+        "customer": rel("customer", ("CK", "MS"), customers),
+        "supplier": rel("supplier", ("SK", "SN"), suppliers),
+        "orders": rel("orders", ("OK", "CK", "ST"), orders),
+        "lineitem": rel("lineitem", ("OK", "PK", "SK"), lineitems),
+        "partsupp": rel("partsupp", ("PK", "SK", "AQ"), partsupp),
+    }
+
+
+def _rounded(mean: float, rng: random.Random) -> int:
+    """Sample a small non-negative integer with the given mean (≥ 1 biased)."""
+    base = int(mean)
+    return base + (1 if rng.random() < (mean - base) else 0)
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def q_tpc3() -> JoinQuery:
+    """customer ⋈ orders ⋈ lineitem."""
+    return JoinQuery(
+        {
+            "customer": ("CK", "MS"),
+            "orders": ("OK", "CK", "ST"),
+            "lineitem": ("OK", "PK", "SK"),
+        }
+    )
+
+
+def q_tpc5() -> JoinQuery:
+    """customer ⋈ orders ⋈ lineitem ⋈ supplier."""
+    return JoinQuery(
+        {
+            "customer": ("CK", "MS"),
+            "orders": ("OK", "CK", "ST"),
+            "lineitem": ("OK", "PK", "SK"),
+            "supplier": ("SK", "SN"),
+        }
+    )
+
+
+def q_tpc9() -> JoinQuery:
+    """partsupp ⋈ lineitem ⋈ orders."""
+    return JoinQuery(
+        {
+            "partsupp": ("PK", "SK", "AQ"),
+            "lineitem": ("OK", "PK", "SK"),
+            "orders": ("OK", "CK", "ST"),
+        }
+    )
+
+
+def q_tpc10() -> JoinQuery:
+    """partsupp ⋈ lineitem ⋈ orders ⋈ customer."""
+    return JoinQuery(
+        {
+            "partsupp": ("PK", "SK", "AQ"),
+            "lineitem": ("OK", "PK", "SK"),
+            "orders": ("OK", "CK", "ST"),
+            "customer": ("CK", "MS"),
+        }
+    )
+
+
+ALL_QUERIES = {
+    "Q_tpc3": q_tpc3,
+    "Q_tpc5": q_tpc5,
+    "Q_tpc9": q_tpc9,
+    "Q_tpc10": q_tpc10,
+}
+
+
+def query_database(
+    query: JoinQuery, config: TPCBiHConfig = TPCBiHConfig()
+) -> Dict[str, TemporalRelation]:
+    """The subset of the generated database a query needs."""
+    db = generate_database(config)
+    return {name: db[name] for name in query.edge_names}

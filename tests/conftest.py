@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite (generators live in repro.testing)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+import pytest
+
+from repro import JoinQuery, TemporalRelation
+from repro.core.interval import Interval
+from repro.testing import random_instance, random_temporal_relation
+
+# Back-compat aliases used throughout the suite.
+random_relation = random_temporal_relation
+random_database = random_instance
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20220612)
+
+
+@pytest.fixture
+def figure2_database() -> Dict[str, TemporalRelation]:
+    """The paper's Figure 2 instance (three copies of the toy edge table)."""
+    edges = [
+        (("A", "B"), (2013, 2017)),
+        (("A", "E"), (2012, 2015)),
+        (("B", "C"), (2011, 2015)),
+        (("B", "D"), (2017, 2019)),
+        (("B", "E"), (2013, 2016)),
+        (("C", "D"), (2012, 2016)),
+        (("D", "E"), (2016, 2018)),
+    ]
+    query = JoinQuery.line(3)
+    return {
+        name: TemporalRelation(name, query.edge(name), edges)
+        for name in query.edge_names
+    }
+
+
+@pytest.fixture
+def figure5_database() -> Dict[str, TemporalRelation]:
+    """An instance of Q_hier shaped like Figure 5's example contents."""
+    always = Interval.always()
+    return {
+        "R1": TemporalRelation("R1", ("A", "B"), [(("a1", "b1"), always)]),
+        "R2": TemporalRelation(
+            "R2",
+            ("A", "B", "D"),
+            [(("a1", "b1", "d1"), always), (("a1", "b1", "d2"), always)],
+        ),
+        "R3": TemporalRelation("R3", ("A", "B", "E"), [(("a1", "b1", "e1"), always)]),
+        "R4": TemporalRelation(
+            "R4",
+            ("A", "C", "F"),
+            [
+                (("a1", "c1", "f1"), always),
+                (("a1", "c1", "f2"), always),
+                (("a1", "c2", "f1"), always),
+            ],
+        ),
+        "R5": TemporalRelation(
+            "R5",
+            ("A", "C", "G"),
+            [(("a1", "c1", "g1"), always), (("a1", "c2", "g2"), always)],
+        ),
+    }

@@ -1,0 +1,110 @@
+"""Tests for the measurement harness and reporting."""
+
+import math
+
+from repro.bench.harness import Measurement, compare_algorithms, measure, scaling_exponent
+from repro.bench.reporting import (
+    format_bytes,
+    format_seconds,
+    render_ratio_table,
+    render_series,
+    render_table,
+)
+from repro.core.query import JoinQuery
+
+from conftest import random_database
+
+
+class TestMeasure:
+    def test_measure_fields(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=10, domain=3)
+        m = measure("timefirst", q, db)
+        assert m.algorithm == "timefirst"
+        assert m.seconds > 0
+        assert m.peak_bytes > 0
+        assert m.result_count >= 0
+        assert m.input_size == q.input_size(db)
+        assert m.ok
+
+    def test_memory_can_be_skipped(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=8, domain=3)
+        m = measure("timefirst", q, db, measure_memory=False)
+        assert m.peak_bytes == 0
+
+    def test_throughput(self):
+        m = Measurement("x", seconds=2.0, peak_bytes=0, result_count=10,
+                        input_size=5, tau=0)
+        assert m.throughput == 5.0
+
+
+class TestCompare:
+    def test_cross_validation_passes(self, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=10, domain=3)
+        ms = compare_algorithms(
+            ["timefirst", "baseline", "hybrid-interval"], q, db,
+            measure_memory=False,
+        )
+        assert all(m.ok for m in ms)
+        assert len({m.result_count for m in ms}) == 1
+
+    def test_inapplicable_algorithm_reported_not_raised(self, rng):
+        q = JoinQuery.triangle()
+        db = random_database(q, rng, n=8, domain=3)
+        ms = compare_algorithms(
+            ["hybrid", "hybrid-interval"], q, db, measure_memory=False
+        )
+        by_name = {m.algorithm: m for m in ms}
+        assert by_name["hybrid"].ok
+        assert not by_name["hybrid-interval"].ok
+        assert "guarded" in by_name["hybrid-interval"].note
+
+
+class TestScalingExponent:
+    def test_linear(self):
+        sizes = [100, 200, 400, 800]
+        times = [0.1 * s for s in sizes]
+        assert math.isclose(scaling_exponent(sizes, times), 1.0, abs_tol=1e-6)
+
+    def test_quadratic(self):
+        sizes = [100, 200, 400]
+        times = [1e-6 * s * s for s in sizes]
+        assert math.isclose(scaling_exponent(sizes, times), 2.0, abs_tol=1e-6)
+
+
+class TestReporting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MiB"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.5e-4).endswith("µs")
+        assert format_seconds(0.05).endswith("ms")
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(float("nan")) == "n/a"
+
+    def _measurements(self):
+        a = Measurement("timefirst", 0.1, 1000, 5, 50, 0)
+        b = Measurement("baseline", 0.2, 4000, 5, 50, 0)
+        return {0: [a, b], 100: [a, b]}
+
+    def test_render_table(self):
+        text = render_table("Fig", self._measurements(), metric="seconds", x_label="tau")
+        assert "timefirst" in text and "baseline" in text
+        assert "100" in text
+
+    def test_render_table_memory(self):
+        text = render_table("Fig", self._measurements(), metric="memory")
+        assert "KiB" in text
+
+    def test_render_ratio_table(self):
+        text = render_ratio_table("Fig10", self._measurements(), x_label="tau")
+        assert "0.50" in text  # timefirst/baseline = 0.5
+        assert "baseline" not in text.splitlines()[3]
+
+    def test_render_series(self):
+        text = render_series("Fig1", [0, 1], {"path2": [10.0, 5.0]}, x_label="tau")
+        assert "path2" in text and "10" in text

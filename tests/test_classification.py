@@ -1,0 +1,191 @@
+"""Tests for query classification, attribute trees, instance reduction."""
+
+import pytest
+
+from repro.core.classification import (
+    AttributeTree,
+    QueryClass,
+    classify,
+    is_hierarchical,
+    is_r_hierarchical,
+    reduce_instance,
+)
+from repro.core.errors import QueryError
+from repro.core.hypergraph import Hypergraph
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+
+
+class TestHierarchicalPredicate:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_stars_hierarchical(self, n):
+        assert is_hierarchical(JoinQuery.star(n).hypergraph)
+
+    def test_qhier_hierarchical(self):
+        assert is_hierarchical(JoinQuery.hier().hypergraph)
+
+    def test_line2_hierarchical(self):
+        # R1(x1,x2) ⋈ R2(x2,x3): E_x1={R1}, E_x2={R1,R2}, E_x3={R2}.
+        assert is_hierarchical(JoinQuery.line(2).hypergraph)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_longer_lines_not_hierarchical(self, n):
+        assert not is_hierarchical(JoinQuery.line(n).hypergraph)
+
+    def test_cycles_not_hierarchical(self):
+        assert not is_hierarchical(JoinQuery.triangle().hypergraph)
+
+    def test_single_relation_hierarchical(self):
+        assert is_hierarchical(Hypergraph({"R": ("a", "b", "c")}))
+
+    def test_cartesian_product_hierarchical(self):
+        assert is_hierarchical(Hypergraph({"R1": ("a",), "R2": ("b",)}))
+
+
+class TestRHierarchical:
+    def test_hierarchical_implies_r_hierarchical(self):
+        assert is_r_hierarchical(JoinQuery.star(3).hypergraph)
+
+    def test_containment_makes_r_hierarchical(self):
+        # Non-hierarchical as written (E_a and E_b incomparable through
+        # R2/R3) but reduced to a single edge.
+        h = Hypergraph({"R1": ("a", "b", "c"), "R2": ("a", "b"), "R3": ("b", "c")})
+        assert not is_hierarchical(h)
+        assert is_r_hierarchical(h)
+
+    def test_line3_not_r_hierarchical(self):
+        assert not is_r_hierarchical(JoinQuery.line(3).hypergraph)
+
+    def test_classify_levels(self):
+        assert classify(JoinQuery.star(3).hypergraph) is QueryClass.HIERARCHICAL
+        h = Hypergraph({"R1": ("a", "b", "c"), "R2": ("a", "b"), "R3": ("b", "c")})
+        assert classify(h) is QueryClass.R_HIERARCHICAL
+        assert classify(JoinQuery.line(3).hypergraph) is QueryClass.ACYCLIC
+        assert classify(JoinQuery.cycle(4).hypergraph) is QueryClass.CYCLIC
+
+
+class TestReduceInstance:
+    def test_absorption_intersects_intervals(self):
+        h = Hypergraph({"Big": ("a", "b"), "Small": ("a",)})
+        db = {
+            "Big": TemporalRelation(
+                "Big", ("a", "b"), [((1, 2), (0, 10)), ((3, 4), (0, 10))]
+            ),
+            "Small": TemporalRelation("Small", ("a",), [((1,), (5, 20))]),
+        }
+        reduced, new_db = reduce_instance(h, db)
+        assert reduced.edge_names == ["Big"]
+        rows = {v: iv for v, iv in new_db["Big"]}
+        assert rows == {(1, 2): Interval(5, 10)}  # (3,4) has no match
+
+    def test_absorption_drops_empty_intersections(self):
+        h = Hypergraph({"Big": ("a", "b"), "Small": ("a",)})
+        db = {
+            "Big": TemporalRelation("Big", ("a", "b"), [((1, 2), (0, 3))]),
+            "Small": TemporalRelation("Small", ("a",), [((1,), (5, 9))]),
+        }
+        _, new_db = reduce_instance(h, db)
+        assert len(new_db["Big"]) == 0
+
+    def test_chained_absorption(self):
+        h = Hypergraph({"A": ("a", "b", "c"), "B": ("a", "b"), "C": ("a",)})
+        db = {
+            "A": TemporalRelation("A", ("a", "b", "c"), [((1, 2, 3), (0, 100))]),
+            "B": TemporalRelation("B", ("a", "b"), [((1, 2), (10, 50))]),
+            "C": TemporalRelation("C", ("a",), [((1,), (20, 80))]),
+        }
+        reduced, new_db = reduce_instance(h, db)
+        assert reduced.edge_names == ["A"]
+        rows = {v: iv for v, iv in new_db["A"]}
+        assert rows == {(1, 2, 3): Interval(20, 50)}
+
+    def test_reduction_preserves_join(self):
+        from repro.algorithms.naive import naive_join
+
+        h = Hypergraph({"Big": ("a", "b"), "Small": ("b",)})
+        db = {
+            "Big": TemporalRelation(
+                "Big", ("a", "b"), [((1, 2), (0, 10)), ((5, 2), (4, 12))]
+            ),
+            "Small": TemporalRelation("Small", ("b",), [((2,), (5, 30))]),
+        }
+        original = naive_join(JoinQuery.from_hypergraph(h), db)
+        reduced_hg, reduced_db = reduce_instance(h, db)
+        q2 = JoinQuery({n: reduced_hg.edge(n) for n in reduced_hg.edge_names},
+                       attr_order=("a", "b"))
+        reduced_result = naive_join(q2, reduced_db)
+        assert sorted(original.values_only()) == sorted(reduced_result.values_only())
+
+
+class TestAttributeTree:
+    def test_rejects_non_hierarchical(self):
+        with pytest.raises(QueryError):
+            AttributeTree(JoinQuery.line(3).hypergraph)
+
+    def test_star_shape(self):
+        tree = AttributeTree(JoinQuery.star(3).hypergraph)
+        root = tree.root
+        # Virtual root → y → {x1, x2, x3 leaves}.
+        assert root.attr is None
+        assert len(root.children) == 1
+        y_node = tree.node(root.children[0])
+        assert y_node.attr == "y"
+        leaf_attrs = {tree.node(c).attr for c in y_node.children}
+        assert leaf_attrs == {"x1", "x2", "x3"}
+
+    def test_every_relation_is_root_path(self):
+        for query in [JoinQuery.star(4), JoinQuery.hier(), JoinQuery.line(2)]:
+            tree = AttributeTree(query.hypergraph)
+            for name in query.edge_names:
+                leaf = tree.node(tree.leaf_of_relation[name])
+                assert set(leaf.path_attrs) == set(query.edge(name))
+
+    def test_qhier_structure_matches_figure5(self):
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        # Find the attribute nodes.
+        by_attr = {n.attr: n for n in tree.nodes if n.attr is not None}
+        assert tree.node(by_attr["B"].parent).attr == "A"
+        assert tree.node(by_attr["C"].parent).attr == "A"
+        assert tree.node(by_attr["D"].parent).attr == "B"
+        assert tree.node(by_attr["E"].parent).attr == "B"
+        assert tree.node(by_attr["F"].parent).attr == "C"
+        assert tree.node(by_attr["G"].parent).attr == "C"
+
+    def test_r1_gets_explicit_leaf_in_qhier(self):
+        # R1(A,B) ends at internal node B, so it needs a relation leaf.
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        leaf = tree.node(tree.leaf_of_relation["R1"])
+        assert leaf.relation == "R1"
+        assert leaf.attr is None
+        assert set(leaf.path_attrs) == {"A", "B"}
+
+    def test_path_attrs_are_prefixes(self):
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        for node in tree.nodes:
+            parent = tree.parent(node.node_id)
+            if parent is not None:
+                plen = len(parent.path_attrs)
+                assert node.path_attrs[:plen] == parent.path_attrs
+
+    def test_equal_incidence_attrs_chained(self):
+        h = Hypergraph({"R1": ("a", "b"), "R2": ("a", "b", "c")})
+        tree = AttributeTree(h)
+        # a and b have E={R1,R2}: they form a chain, c hangs below.
+        by_attr = {n.attr: n for n in tree.nodes if n.attr is not None}
+        chain = {by_attr["a"].attr, by_attr["b"].attr}
+        assert chain == {"a", "b"}
+        c_parent = tree.node(by_attr["c"].parent)
+        assert c_parent.attr in ("a", "b")
+
+    def test_depth_constant(self):
+        tree = AttributeTree(JoinQuery.star(5).hypergraph)
+        assert tree.depth() == 2  # root → y → x_i (two edges)
+
+    def test_pretty_renders(self):
+        text = AttributeTree(JoinQuery.hier().hypergraph).pretty()
+        assert "A" in text and "leaf[R1" in text
+
+    def test_leaves_cover_all_relations(self):
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        assert set(tree.leaf_of_relation) == set(JoinQuery.hier().edge_names)

@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` command-line demo."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_default_run(self, capsys):
+        rc = main(["line3", "--dangling", "30", "--results", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 7 planner decision" in out
+        assert "Cost-based advisor" in out
+        assert "results in" in out
+        assert "RESULT MISMATCH" not in out
+
+    def test_single_algorithm(self, capsys):
+        rc = main(
+            ["star3", "--dangling", "30", "--results", "10",
+             "--algorithm", "timefirst"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "timefirst" in out
+        assert out.count("results in") == 1  # only the requested algorithm ran
+
+    def test_durable_run(self, capsys):
+        rc = main(["star3", "--dangling", "30", "--results", "10", "--tau", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tau = 500" in out
+
+    def test_cyclic_family_handles_inapplicable_algorithms(self, capsys):
+        rc = main(["triangle", "--dangling", "25", "--results", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "not applicable" in out  # hybrid-interval on a cycle
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dodecahedron"])
+
+    def test_parse_flag(self, capsys):
+        rc = main(
+            ["--parse", "R1(a,b) ⋈ R2(b,c)", "--dangling", "20",
+             "--results", "5", "--algorithm", "timefirst"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "custom query" in out
+        assert "R1(a, b)" in out
+
+    def test_parse_rejects_non_binary(self):
+        with pytest.raises(SystemExit):
+            main(["--parse", "R1(a,b,c) ⋈ R2(c,d)"])
+
+    def test_list_flag(self, capsys):
+        rc = main(["--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TIMEFIRST sweep" in out
+        assert "guarded partition" in out.lower() or "guarded" in out
+
+    def test_describe_covers_every_algorithm(self):
+        from repro.algorithms.registry import available_algorithms, describe_algorithms
+
+        text = describe_algorithms()
+        for name in available_algorithms():
+            assert name in text
+        assert "(no description)" not in text

@@ -1,0 +1,81 @@
+"""Tests for fractional edge covers and ρ(Q) (LP (3) of the paper)."""
+
+import math
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.query import JoinQuery
+from repro.nontemporal.cover import (
+    agm_bound,
+    fractional_edge_cover,
+    integral_edge_cover,
+    rho,
+)
+
+
+class TestRho:
+    def test_single_edge(self):
+        assert rho(Hypergraph({"R": ("a", "b", "c")})) == 1.0
+
+    def test_triangle_is_1_5(self):
+        # The classic: ρ(Q_Δ) = 3/2.
+        assert rho(JoinQuery.triangle().hypergraph) == 1.5
+
+    @pytest.mark.parametrize("n,expected", [(4, 2.0), (5, 2.5), (6, 3.0)])
+    def test_cycles(self, n, expected):
+        assert rho(JoinQuery.cycle(n).hypergraph) == expected
+
+    def test_line_join(self):
+        # Line n: ρ = ceil((n+1)/2) edges... as fractional: matching-based,
+        # ρ(L3) = 2 (R1 and R3 cover everything).
+        assert rho(JoinQuery.line(3).hypergraph) == 2.0
+
+    def test_star(self):
+        # Star n: every leaf attribute forces its own edge: ρ = n... but the
+        # center is covered for free: ρ(S3) = 3.
+        assert rho(JoinQuery.star(3).hypergraph) == 3.0
+
+    def test_weights_form_feasible_cover(self):
+        hg = JoinQuery.bowtie().hypergraph
+        value, weights = fractional_edge_cover(hg)
+        for attr in hg.attrs:
+            total = sum(weights[n] for n in hg.edges_of(attr))
+            assert total >= 1 - 1e-7
+        assert math.isclose(value, sum(weights.values()), rel_tol=1e-6)
+
+    def test_rho_at_most_integral_cover(self):
+        for query in [JoinQuery.line(4), JoinQuery.cycle(5), JoinQuery.bowtie()]:
+            hg = query.hypergraph
+            integral_size, _ = integral_edge_cover(hg)
+            assert rho(hg) <= integral_size + 1e-9
+
+
+class TestIntegralCover:
+    def test_line3(self):
+        size, chosen = integral_edge_cover(JoinQuery.line(3).hypergraph)
+        assert size == 2
+        assert set(chosen) == {"R1", "R3"}
+
+    def test_triangle(self):
+        size, _ = integral_edge_cover(JoinQuery.triangle().hypergraph)
+        assert size == 2
+
+    def test_single_edge(self):
+        size, chosen = integral_edge_cover(Hypergraph({"R": ("a",)}))
+        assert size == 1 and chosen == ["R"]
+
+
+class TestAGM:
+    def test_triangle_bound(self):
+        hg = JoinQuery.triangle().hypergraph
+        bound = agm_bound(hg, {"R1": 100, "R2": 100, "R3": 100})
+        assert math.isclose(bound, 100**1.5, rel_tol=1e-6)
+
+    def test_single_edge_bound_is_size(self):
+        hg = Hypergraph({"R": ("a", "b")})
+        assert math.isclose(agm_bound(hg, {"R": 57}), 57.0, rel_tol=1e-6)
+
+    def test_zero_size_clamped(self):
+        hg = Hypergraph({"R": ("a",)})
+        assert agm_bound(hg, {"R": 0}) == 1.0

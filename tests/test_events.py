@@ -1,0 +1,54 @@
+"""Tests for the sweep event stream and its tie-breaking rules."""
+
+from repro.algorithms.events import EXPIRE, INSERT, distinct_endpoint_count, event_stream
+from repro.core.relation import TemporalRelation
+
+
+def db_of(rows):
+    return {"R": TemporalRelation("R", ("a",), rows)}
+
+
+class TestEventStream:
+    def test_two_events_per_tuple(self):
+        events = event_stream(db_of([((1,), (0, 5)), ((2,), (3, 9))]))
+        assert len(events) == 4
+        kinds = [(e.kind, e.values) for e in events]
+        assert kinds.count((INSERT, (1,))) == 1
+        assert kinds.count((EXPIRE, (1,))) == 1
+
+    def test_sorted_by_time(self):
+        events = event_stream(db_of([((1,), (5, 9)), ((2,), (0, 2))]))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_insert_before_expire_at_same_time(self):
+        # [0,5] expires at 5; [5,9] inserts at 5. Insert must come first so
+        # the touching pair joins.
+        events = event_stream(db_of([((1,), (0, 5)), ((2,), (5, 9))]))
+        at_five = [e for e in events if e.time == 5]
+        assert [e.kind for e in at_five] == [INSERT, EXPIRE]
+        assert at_five[0].values == (2,)
+
+    def test_instant_interval_orders_insert_first(self):
+        events = event_stream(db_of([((1,), (3, 3))]))
+        assert [e.kind for e in events] == [INSERT, EXPIRE]
+
+    def test_deterministic_sequence_for_ties(self):
+        db = db_of([((1,), (0, 5)), ((2,), (0, 5))])
+        a = [(e.kind, e.values) for e in event_stream(db)]
+        b = [(e.kind, e.values) for e in event_stream(db)]
+        assert a == b
+
+    def test_multi_relation_interleaving(self):
+        db = {
+            "R1": TemporalRelation("R1", ("a",), [((1,), (0, 10))]),
+            "R2": TemporalRelation("R2", ("b",), [((2,), (5, 6))]),
+        }
+        events = event_stream(db)
+        assert [e.relation for e in events] == ["R1", "R2", "R2", "R1"]
+
+
+class TestEndpointCount:
+    def test_distinct_endpoints(self):
+        db = db_of([((1,), (0, 5)), ((2,), (0, 5)), ((3,), (5, 9))])
+        assert distinct_endpoint_count(db) == 3  # {0, 5, 9}

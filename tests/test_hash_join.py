@@ -1,0 +1,101 @@
+"""Tests for binary hash joins and semijoins."""
+
+from repro.core.interval import Interval
+from repro.core.relation import TemporalRelation
+from repro.nontemporal.hash_join import (
+    estimate_join_size,
+    hash_join,
+    lookup_index,
+    semijoin,
+    shared_attrs,
+)
+
+
+def rel(name, attrs, rows):
+    return TemporalRelation(name, attrs, rows)
+
+
+R = rel("R", ("a", "b"), [((1, 2), (0, 10)), ((1, 3), (5, 15)), ((4, 2), (0, 2))])
+S = rel("S", ("b", "c"), [((2, "x"), (8, 20)), ((3, "y"), (0, 4)), ((9, "z"), (0, 1))])
+
+
+class TestSharedAttrs:
+    def test_order_follows_left(self):
+        assert shared_attrs(R, S) == ["b"]
+
+    def test_disjoint(self):
+        t = rel("T", ("z",), [((1,), (0, 1))])
+        assert shared_attrs(R, t) == []
+
+
+class TestHashJoin:
+    def test_temporal_join_drops_disjoint(self):
+        out = hash_join(R, S)
+        rows = {v: iv for v, iv in out}
+        # (1,2)+(2,x): [0,10]∩[8,20]=[8,10] ✓; (1,3)+(3,y): [5,15]∩[0,4]=∅ ✗
+        # (4,2)+(2,x): [0,2]∩[8,20]=∅ ✗
+        assert rows == {(1, 2, "x"): Interval(8, 10)}
+
+    def test_schema_is_left_plus_right_extra(self):
+        out = hash_join(R, S)
+        assert out.attrs == ("a", "b", "c")
+
+    def test_nontemporal_keeps_all_value_matches(self):
+        out = hash_join(R, S, temporal=False)
+        assert len(out) == 3
+
+    def test_cartesian_when_no_shared(self):
+        t = rel("T", ("z",), [(("u",), (0, 100)), (("v",), (50, 60))])
+        out = hash_join(R, t)
+        # Cartesian product of value tuples, filtered by interval overlap.
+        expected = 0
+        for v1, iv1 in R:
+            for v2, iv2 in t:
+                if iv1.intersects(iv2):
+                    expected += 1
+        assert len(out) == expected
+
+    def test_join_empty_right(self):
+        empty = rel("E", ("b", "c"), [])
+        assert len(hash_join(R, empty)) == 0
+
+
+class TestSemijoin:
+    def test_keeps_matching(self):
+        out = semijoin(R, S)
+        assert sorted(v for v, _ in out) == [(1, 2), (1, 3), (4, 2)]
+
+    def test_filters_nonmatching(self):
+        s2 = rel("S2", ("b",), [((3,), (0, 1))])
+        out = semijoin(R, s2)
+        assert [v for v, _ in out] == [(1, 3)]
+
+    def test_ignores_intervals(self):
+        # Semijoin is value-only: disjoint intervals still match.
+        s2 = rel("S2", ("b",), [((2,), (1000, 2000))])
+        out = semijoin(R, s2)
+        assert len(out) == 2
+
+    def test_no_shared_attrs_nonempty_right(self):
+        t = rel("T", ("z",), [((1,), (0, 1))])
+        assert len(semijoin(R, t)) == len(R)
+
+    def test_no_shared_attrs_empty_right(self):
+        t = rel("T", ("z",), [])
+        assert len(semijoin(R, t)) == 0
+
+
+class TestEstimates:
+    def test_shared_key_estimate(self):
+        est = estimate_join_size(R, S)
+        # |R|·|S| / max(d_b) = 9 / max(2, 3) = 3
+        assert est == 3.0
+
+    def test_cartesian_estimate(self):
+        t = rel("T", ("z",), [((1,), (0, 1)), ((2,), (0, 1))])
+        assert estimate_join_size(R, t) == 6.0
+
+    def test_lookup_index(self):
+        idx = lookup_index(R)
+        assert idx[(1, 2)] == Interval(0, 10)
+        assert len(idx) == 3

@@ -1,0 +1,138 @@
+"""Tests for the addressable min-heap."""
+
+import random
+
+import pytest
+
+from repro.datastructures.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_push_peek_pop(self):
+        h = AddressableHeap()
+        h.push(5, "a")
+        h.push(2, "b")
+        h.push(9, "c")
+        assert h.peek() == (2, "b")
+        assert h.pop() == (2, "b")
+        assert h.pop() == (5, "a")
+        assert h.pop() == (9, "c")
+
+    def test_len_and_contains(self):
+        h = AddressableHeap()
+        h.push(1, "x")
+        assert len(h) == 1 and "x" in h and "y" not in h
+        h.pop()
+        assert len(h) == 0 and not h
+
+    def test_duplicate_item_rejected(self):
+        h = AddressableHeap()
+        h.push(1, "x")
+        with pytest.raises(KeyError):
+            h.push(2, "x")
+
+    def test_peek_empty(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_min_key(self):
+        h = AddressableHeap()
+        assert h.min_key() is None
+        h.push(4, "a")
+        h.push(1, "b")
+        assert h.min_key() == 1
+
+    def test_duplicate_keys_allowed(self):
+        h = AddressableHeap()
+        h.push(1, "a")
+        h.push(1, "b")
+        popped = {h.pop()[1], h.pop()[1]}
+        assert popped == {"a", "b"}
+
+
+class TestRemoveAndUpdate:
+    def test_remove_by_handle(self):
+        h = AddressableHeap()
+        for k, item in [(3, "a"), (1, "b"), (7, "c")]:
+            h.push(k, item)
+        assert h.remove("a") == 3
+        assert "a" not in h
+        assert [h.pop()[1] for _ in range(2)] == ["b", "c"]
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().remove("nope")
+
+    def test_remove_root(self):
+        h = AddressableHeap()
+        h.push(1, "a")
+        h.push(2, "b")
+        h.remove("a")
+        assert h.peek() == (2, "b")
+
+    def test_update_key_decrease(self):
+        h = AddressableHeap()
+        h.push(5, "a")
+        h.push(3, "b")
+        h.update_key("a", 1)
+        assert h.peek() == (1, "a")
+
+    def test_update_key_increase(self):
+        h = AddressableHeap()
+        h.push(1, "a")
+        h.push(3, "b")
+        h.update_key("a", 9)
+        assert h.peek() == (3, "b")
+
+    def test_update_missing(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().update_key("x", 1)
+
+    def test_key_of(self):
+        h = AddressableHeap()
+        h.push(42, "a")
+        assert h.key_of("a") == 42
+        with pytest.raises(KeyError):
+            h.key_of("b")
+
+
+class TestRandomized:
+    def test_heapsort_agrees_with_sorted(self):
+        rng = random.Random(3)
+        h = AddressableHeap()
+        keys = [rng.randrange(1000) for _ in range(300)]
+        for i, k in enumerate(keys):
+            h.push(k, i)
+        out = [h.pop()[0] for _ in range(len(keys))]
+        assert out == sorted(keys)
+
+    def test_interleaved_ops_keep_invariant(self):
+        rng = random.Random(7)
+        h = AddressableHeap()
+        alive = {}
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.5 or not alive:
+                item = f"i{step}"
+                key = rng.randrange(100)
+                h.push(key, item)
+                alive[item] = key
+            elif op < 0.75:
+                item = rng.choice(list(alive))
+                h.remove(item)
+                del alive[item]
+            elif op < 0.9:
+                item = rng.choice(list(alive))
+                key = rng.randrange(100)
+                h.update_key(item, key)
+                alive[item] = key
+            else:
+                key, item = h.pop()
+                assert alive.pop(item) == key
+                assert all(key <= k for k in alive.values())
+            assert h.check_invariant()
+        assert len(h) == len(alive)

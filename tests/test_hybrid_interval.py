@@ -1,0 +1,129 @@
+"""Tests for HybridGuarded / HYBRID-INTERVAL (Algorithm 6)."""
+
+import pytest
+
+from repro.algorithms.hybrid_interval import hybrid_interval_join
+from repro.algorithms.naive import naive_join
+from repro.core.errors import PlanError
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.nontemporal.ghd import find_guarded_partition
+
+from conftest import random_database
+
+
+class TestApplicability:
+    def test_rejects_unguarded(self):
+        q = JoinQuery.triangle()
+        db = {n: TemporalRelation(n, q.edge(n), []) for n in q.edge_names}
+        with pytest.raises(PlanError):
+            hybrid_interval_join(q, db)
+
+    def test_accepts_lines_and_stars(self, rng):
+        for q in [JoinQuery.line(3), JoinQuery.star(3)]:
+            db = random_database(q, rng, n=6, domain=3)
+            hybrid_interval_join(q, db)  # no raise
+
+
+class TestLine3IntervalJoinPath:
+    """Line-3 exercises the two-group forward-scan shortcut."""
+
+    def test_figure2(self, figure2_database):
+        q = JoinQuery.line(3)
+        got = hybrid_interval_join(q, figure2_database)
+        want = naive_join(q, figure2_database)
+        assert got.normalized() == want.normalized()
+
+    def test_core_interval_prunes(self):
+        # R2's tuple (core) has a narrow interval; residual pairs outside
+        # it must be clipped away.
+        q = JoinQuery.line(3)
+        db = {
+            "R1": TemporalRelation(
+                "R1", ("x1", "x2"), [((1, 2), (0, 3)), ((9, 2), (5, 9))]
+            ),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (4, 20))]),
+            "R3": TemporalRelation("R3", ("x3", "x4"), [((3, 4), (0, 30))]),
+        }
+        got = hybrid_interval_join(q, db)
+        assert got.values_only() == [(9, 2, 3, 4)]
+        assert got.rows[0][1] == Interval(5, 9)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_lines_match_naive(self, n, rng):
+        q = JoinQuery.line(n)
+        for _ in range(4):
+            db = random_database(q, rng, n=10, domain=3)
+            got = hybrid_interval_join(q, db)
+            want = naive_join(q, db)
+            assert got.normalized() == want.normalized()
+
+
+class TestStarProductSweep:
+    """Stars with k ≥ 3 leaves exercise the multi-group product sweep."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_stars_match_naive(self, n, rng):
+        q = JoinQuery.star(n)
+        for _ in range(3):
+            db = random_database(q, rng, n=8, domain=3)
+            got = hybrid_interval_join(q, db)
+            want = naive_join(q, db)
+            assert got.normalized() == want.normalized()
+
+    def test_no_duplicate_results_on_shared_endpoints(self):
+        q = JoinQuery.star(3)
+        db = {
+            f"R{i}": TemporalRelation(
+                f"R{i}", (f"x{i}", "y"), [((j, "h"), (0, 10)) for j in range(3)]
+            )
+            for i in (1, 2, 3)
+        }
+        got = hybrid_interval_join(q, db)
+        assert len(got) == 27
+        assert len(set(got.values_only())) == 27
+
+
+class TestDurable:
+    def test_durable_line(self, rng):
+        q = JoinQuery.line(3)
+        for tau in [0, 3, 9]:
+            db = random_database(q, rng, n=12, domain=3)
+            got = hybrid_interval_join(q, db, tau=tau)
+            want = naive_join(q, db, tau=tau)
+            assert got.normalized() == want.normalized()
+
+    def test_durable_interval_restoration(self):
+        q = JoinQuery.line(3)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 10))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (2, 12))]),
+            "R3": TemporalRelation("R3", ("x3", "x4"), [((3, 4), (0, 9))]),
+        }
+        got = hybrid_interval_join(q, db, tau=5)
+        assert got.rows == [((1, 2, 3, 4), Interval(2, 9))]
+
+
+class TestExplicitPartition:
+    def test_custom_partition(self, rng):
+        q = JoinQuery.line(3)
+        gp = find_guarded_partition(q.hypergraph)
+        db = random_database(q, rng, n=10, domain=3)
+        got = hybrid_interval_join(q, db, partition=gp)
+        assert got.normalized() == naive_join(q, db).normalized()
+
+    def test_tpc_style_single_residual_group(self, rng):
+        # Q_tpc3-like shape: one relation holds all the private attributes.
+        q = JoinQuery(
+            {
+                "customer": ("CK",),
+                "orders": ("OK", "CK"),
+                "lineitem": ("OK", "PK", "SK"),
+            }
+        )
+        for _ in range(3):
+            db = random_database(q, rng, n=10, domain=3)
+            got = hybrid_interval_join(q, db)
+            want = naive_join(q, db)
+            assert got.normalized() == want.normalized()

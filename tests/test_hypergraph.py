@@ -1,0 +1,197 @@
+"""Tests for repro.core.hypergraph: acyclicity, join trees, reduction."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.hypergraph import Hypergraph, join_tree_children, verify_join_tree
+from repro.core.query import JoinQuery
+
+
+def hg(edges):
+    return Hypergraph(edges)
+
+
+class TestBasics:
+    def test_attrs_first_appearance_order(self):
+        h = hg({"R1": ("b", "a"), "R2": ("a", "c")})
+        assert h.attrs == ("b", "a", "c")
+
+    def test_edge_lookup(self):
+        h = hg({"R": ("a", "b")})
+        assert h.edge("R") == ("a", "b")
+        assert h.edge_set("R") == frozenset({"a", "b"})
+
+    def test_unknown_edge(self):
+        with pytest.raises(QueryError):
+            hg({"R": ("a",)}).edge("S")
+
+    def test_edges_of(self):
+        h = hg({"R1": ("a", "b"), "R2": ("b", "c")})
+        assert h.edges_of("b") == frozenset({"R1", "R2"})
+        assert h.edges_of("a") == frozenset({"R1"})
+
+    def test_unknown_attr(self):
+        with pytest.raises(QueryError):
+            hg({"R": ("a",)}).edges_of("z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph({})
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph({"R": ()})
+
+    def test_repeated_attr_in_edge_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph({"R": ("a", "a")})
+
+    def test_equality_ignores_attr_order(self):
+        assert hg({"R": ("a", "b")}) == hg({"R": ("b", "a")})
+        assert hash(hg({"R": ("a", "b")})) == hash(hg({"R": ("b", "a")}))
+
+    def test_inequality(self):
+        assert hg({"R": ("a", "b")}) != hg({"R": ("a", "c")})
+
+    def test_rename_attrs(self):
+        h = hg({"R": ("a", "b")}).rename_attrs({"a": "x"})
+        assert h.edge("R") == ("x", "b")
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert JoinQuery.line(3).hypergraph.is_connected()
+
+    def test_disconnected(self):
+        h = hg({"R1": ("a",), "R2": ("b",)})
+        assert not h.is_connected()
+        assert h.connected_components() == [["R1"], ["R2"]]
+
+    def test_components_partition_edges(self):
+        h = hg({"R1": ("a", "b"), "R2": ("b", "c"), "R3": ("z",)})
+        comps = h.connected_components()
+        flat = sorted(name for comp in comps for name in comp)
+        assert flat == ["R1", "R2", "R3"]
+        assert len(comps) == 2
+
+
+class TestReduce:
+    def test_no_containment_is_identity(self):
+        h = JoinQuery.line(3).hypergraph
+        reduced, absorbed = h.reduce()
+        assert reduced == h and absorbed == {}
+
+    def test_contained_edge_absorbed(self):
+        h = hg({"R1": ("a", "b", "c"), "R2": ("a", "b")})
+        reduced, absorbed = h.reduce()
+        assert reduced.edge_names == ["R1"]
+        assert absorbed == {"R2": "R1"}
+
+    def test_chain_containment(self):
+        h = hg({"R1": ("a", "b", "c"), "R2": ("a", "b"), "R3": ("a",)})
+        reduced, absorbed = h.reduce()
+        assert reduced.edge_names == ["R1"]
+        assert set(absorbed) == {"R2", "R3"}
+
+    def test_equal_edges_one_survives(self):
+        h = hg({"R1": ("a", "b"), "R2": ("b", "a")})
+        reduced, absorbed = h.reduce()
+        assert len(reduced) == 1 and len(absorbed) == 1
+
+    def test_deterministic(self):
+        h = hg({"R1": ("a", "b", "c"), "R2": ("a", "b"), "R3": ("b", "c")})
+        assert h.reduce() == h.reduce()
+
+
+class TestInduced:
+    def test_line_induced_endpoints(self):
+        h = JoinQuery.line(3).hypergraph
+        sub = h.induced(["x1", "x4"])
+        assert set(sub.edge_names) == {"R1", "R3"}
+        assert sub.edge("R1") == ("x1",)
+
+    def test_induced_drops_uncovered_edges(self):
+        h = JoinQuery.line(3).hypergraph
+        sub = h.induced(["x2", "x3"])
+        assert set(sub.edge_names) == {"R1", "R2", "R3"}
+        assert sub.edge("R2") == ("x2", "x3")
+
+    def test_induced_empty_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery.line(3).hypergraph.induced(["zzz"])
+
+
+class TestAcyclicity:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            JoinQuery.line(2),
+            JoinQuery.line(5),
+            JoinQuery.star(4),
+            JoinQuery.hier(),
+        ],
+    )
+    def test_acyclic_families(self, query):
+        assert query.hypergraph.is_acyclic()
+
+    @pytest.mark.parametrize(
+        "query",
+        [JoinQuery.triangle(), JoinQuery.cycle(4), JoinQuery.cycle(6), JoinQuery.bowtie()],
+    )
+    def test_cyclic_families(self, query):
+        assert not query.hypergraph.is_acyclic()
+
+    def test_single_edge_acyclic(self):
+        assert hg({"R": ("a", "b", "c")}).is_acyclic()
+
+    def test_disconnected_acyclic(self):
+        assert hg({"R1": ("a",), "R2": ("b",)}).is_acyclic()
+
+    def test_alpha_acyclic_with_big_edge(self):
+        # A triangle plus an edge covering it is α-acyclic.
+        h = hg(
+            {
+                "R1": ("a", "b"),
+                "R2": ("b", "c"),
+                "R3": ("a", "c"),
+                "Big": ("a", "b", "c"),
+            }
+        )
+        assert h.is_acyclic()
+
+    def test_join_tree_valid_for_acyclic(self):
+        for query in [JoinQuery.line(4), JoinQuery.star(5), JoinQuery.hier()]:
+            h = query.hypergraph
+            tree = h.gyo_join_tree()
+            assert tree is not None
+            assert verify_join_tree(h, tree)
+
+    def test_join_tree_none_for_cyclic(self):
+        assert JoinQuery.triangle().hypergraph.gyo_join_tree() is None
+
+    def test_join_tree_single_root_when_connected(self):
+        tree = JoinQuery.line(4).hypergraph.gyo_join_tree()
+        roots = [n for n, p in tree.items() if p is None]
+        assert len(roots) == 1
+
+
+class TestJoinTreeHelpers:
+    def test_children_inversion(self):
+        parent = {"A": None, "B": "A", "C": "A"}
+        children = join_tree_children(parent)
+        assert children[""] == ["A"]
+        assert children["A"] == ["B", "C"]
+
+    def test_verify_rejects_wrong_nodes(self):
+        h = JoinQuery.line(3).hypergraph
+        assert not verify_join_tree(h, {"R1": None, "R2": "R1"})
+
+    def test_verify_rejects_disconnected_attr(self):
+        # x2 appears in R1 and R3 but they are not adjacent: invalid tree.
+        h = hg({"R1": ("x1", "x2"), "R2": ("x1",), "R3": ("x2", "x3")})
+        bad = {"R1": None, "R2": "R1", "R3": "R2"}
+        assert not verify_join_tree(h, bad)
+
+    def test_verify_accepts_gyo_output(self):
+        h = JoinQuery.star(6).hypergraph
+        assert verify_join_tree(h, h.gyo_join_tree())

@@ -1,0 +1,109 @@
+"""Differential integration tests: every algorithm vs the brute-force oracle.
+
+This is the library's most important safety net. For every query family
+in the paper (lines, stars, cycles, hierarchical, bowtie, TPC-like ad hoc
+shapes) and randomized instances with varied durability thresholds, every
+registered algorithm must produce exactly the oracle's (values, interval)
+multiset.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.naive import naive_join
+from repro.algorithms.registry import temporal_join
+from repro.core.errors import PlanError
+from repro.core.query import JoinQuery
+
+from conftest import random_database
+
+ALGORITHMS = ["timefirst", "baseline", "joinfirst", "hybrid", "hybrid-interval", "auto"]
+
+FAMILIES = {
+    "line3": JoinQuery.line(3),
+    "line4": JoinQuery.line(4),
+    "line5": JoinQuery.line(5),
+    "star3": JoinQuery.star(3),
+    "star5": JoinQuery.star(5),
+    "triangle": JoinQuery.triangle(),
+    "cycle4": JoinQuery.cycle(4),
+    "cycle5": JoinQuery.cycle(5),
+    "bowtie": JoinQuery.bowtie(),
+    "hier": JoinQuery.hier(),
+    "tpc9ish": JoinQuery(
+        {"partsupp": ("PK", "SK"), "lineitem": ("OK", "PK", "SK"), "orders": ("OK", "CK")}
+    ),
+    "mixed_arity": JoinQuery(
+        {"R1": ("a", "b", "c"), "R2": ("c", "d"), "R3": ("d", "e", "f"), "R4": ("b",)}
+    ),
+    "disconnected": JoinQuery({"R1": ("a", "b"), "R2": ("c", "d")}),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_agrees_with_oracle(family, algorithm):
+    query = FAMILIES[family]
+    rng = random.Random(hash((family, algorithm)) & 0xFFFF)
+    for trial in range(3):
+        db = random_database(
+            query, rng, n=rng.randrange(5, 14), domain=rng.randrange(2, 5),
+            time_span=30,
+        )
+        tau = rng.choice([0, 0, 2, 5, 11])
+        want = naive_join(query, db, tau=tau).normalized()
+        try:
+            got = temporal_join(query, db, tau=tau, algorithm=algorithm)
+        except PlanError:
+            assert algorithm == "hybrid-interval"
+            return  # no guarded partition for this family: expected
+        assert got.normalized() == want, (
+            f"{algorithm} disagrees on {family} trial {trial} tau {tau}"
+        )
+        assert tuple(got.attrs) == tuple(query.attrs)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_dense_time_collisions(algorithm):
+    """Many identical endpoints stress the sweep tie-breaking."""
+    query = JoinQuery.line(3)
+    rng = random.Random(99)
+    for _ in range(3):
+        db = random_database(query, rng, n=14, domain=3, time_span=4)
+        want = naive_join(query, db).normalized()
+        got = temporal_join(query, db, algorithm=algorithm)
+        assert got.normalized() == want
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_heavy_skew_hub_values(algorithm):
+    """One hub value everywhere: quadratic intermediates, tiny domains."""
+    from repro.core.relation import TemporalRelation
+
+    query = JoinQuery.line(3)
+    rng = random.Random(7)
+    db = {}
+    for name in query.edge_names:
+        rows = {}
+        for i in range(12):
+            left = 0 if rng.random() < 0.7 else i
+            right = 0 if rng.random() < 0.7 else i + 100
+            lo = rng.randrange(20)
+            rows[(left, right)] = (lo, lo + rng.randrange(10))
+        db[name] = TemporalRelation(name, query.edge(name), list(rows.items()))
+    want = naive_join(query, db).normalized()
+    got = temporal_join(query, db, algorithm=algorithm)
+    assert got.normalized() == want
+
+
+def test_all_algorithms_agree_on_durability_sweep():
+    query = JoinQuery.star(3)
+    rng = random.Random(13)
+    db = random_database(query, rng, n=15, domain=3, time_span=50)
+    reference_full = naive_join(query, db)
+    for tau in [0, 1, 5, 10, 20, 100]:
+        want = reference_full.filter_durable(tau).normalized()
+        for algorithm in ALGORITHMS:
+            got = temporal_join(query, db, tau=tau, algorithm=algorithm)
+            assert got.normalized() == want, (algorithm, tau)

@@ -1,0 +1,209 @@
+"""Tests for repro.core.interval: Interval and IntervalSet."""
+
+import math
+
+import pytest
+
+from repro.core.errors import IntervalError
+from repro.core.interval import Interval, IntervalSet, coalesce, intersect_all
+
+
+class TestIntervalConstruction:
+    def test_basic(self):
+        iv = Interval(1, 5)
+        assert iv.lo == 1 and iv.hi == 5
+
+    def test_instant(self):
+        iv = Interval.instant(3)
+        assert iv.lo == iv.hi == 3
+        assert iv.is_instant
+
+    def test_always_is_unbounded(self):
+        iv = Interval.always()
+        assert iv.lo == -math.inf and iv.hi == math.inf
+        assert not iv.is_bounded
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(5, 1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(float("nan"), 1)
+
+    def test_coerce_interval_passthrough(self):
+        iv = Interval(1, 2)
+        assert Interval.coerce(iv) is iv
+
+    def test_coerce_pair(self):
+        assert Interval.coerce((1, 4)) == Interval(1, 4)
+
+    def test_coerce_list(self):
+        assert Interval.coerce([2, 9]) == Interval(2, 9)
+
+    def test_coerce_scalar_makes_instant(self):
+        assert Interval.coerce(7) == Interval(7, 7)
+
+    def test_coerce_garbage_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval.coerce("nope")
+
+    def test_frozen(self):
+        iv = Interval(0, 1)
+        with pytest.raises(AttributeError):
+            iv.lo = 5  # type: ignore[misc]
+
+    def test_ordering_is_lexicographic(self):
+        assert Interval(1, 2) < Interval(1, 3) < Interval(2, 2)
+
+
+class TestIntervalPredicates:
+    def test_contains_interior_and_endpoints(self):
+        iv = Interval(2, 6)
+        assert iv.contains(2) and iv.contains(6) and iv.contains(4)
+        assert not iv.contains(1.999) and not iv.contains(6.001)
+
+    def test_intersects_overlap(self):
+        assert Interval(1, 5).intersects(Interval(4, 9))
+
+    def test_intersects_touching_endpoints(self):
+        # Closed intervals: touching counts (load-bearing for the sweep).
+        assert Interval(1, 5).intersects(Interval(5, 9))
+
+    def test_intersects_disjoint(self):
+        assert not Interval(1, 2).intersects(Interval(3, 4))
+
+    def test_intersects_containment(self):
+        assert Interval(0, 10).intersects(Interval(3, 4))
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(3, 4))
+        assert not Interval(3, 4).covers(Interval(0, 10))
+        assert Interval(3, 4).covers(Interval(3, 4))
+
+    def test_precedes_with_gap(self):
+        assert Interval(0, 3).precedes(Interval(5, 6), gap=2)
+        assert not Interval(0, 3).precedes(Interval(4, 6), gap=2)
+
+
+class TestIntervalCombinators:
+    def test_intersect_nonempty(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_touching_gives_instant(self):
+        assert Interval(1, 5).intersect(Interval(5, 9)) == Interval(5, 5)
+
+    def test_intersect_empty_gives_none(self):
+        assert Interval(1, 2).intersect(Interval(3, 4)) is None
+
+    def test_duration(self):
+        assert Interval(3, 10).duration == 7
+        assert Interval.instant(4).duration == 0
+        assert Interval.always().duration == math.inf
+
+    def test_shift(self):
+        assert Interval(1, 3).shift(10) == Interval(11, 13)
+        assert Interval(1, 3).shift(-1) == Interval(0, 2)
+
+    def test_shrink_ok(self):
+        assert Interval(0, 10).shrink(2) == Interval(2, 8)
+
+    def test_shrink_to_instant(self):
+        assert Interval(0, 10).shrink(5) == Interval(5, 5)
+
+    def test_shrink_vanishes(self):
+        assert Interval(0, 10).shrink(5.01) is None
+
+    def test_expand_inverts_shrink(self):
+        iv = Interval(3, 9)
+        assert iv.shrink(2).expand(2) == iv
+
+    def test_clip_alias(self):
+        assert Interval(0, 4).clip(Interval(2, 9)) == Interval(2, 4)
+
+    def test_iter_unpacks(self):
+        lo, hi = Interval(2, 7)
+        assert (lo, hi) == (2, 7)
+
+
+class TestIntersectAll:
+    def test_empty_iterable_is_always(self):
+        assert intersect_all([]) == Interval.always()
+
+    def test_chain(self):
+        ivs = [Interval(0, 10), Interval(2, 8), Interval(4, 12)]
+        assert intersect_all(ivs) == Interval(4, 8)
+
+    def test_empty_result(self):
+        assert intersect_all([Interval(0, 2), Interval(5, 7)]) is None
+
+    def test_matches_pairwise_fold(self):
+        ivs = [Interval(0, 9), Interval(1, 7), Interval(3, 11)]
+        folded = ivs[0]
+        for iv in ivs[1:]:
+            folded = folded.intersect(iv)
+        assert intersect_all(ivs) == folded
+
+
+class TestIntervalSet:
+    def test_coalesces_overlaps(self):
+        s = IntervalSet([(0, 3), (2, 5), (7, 9)])
+        assert list(s) == [Interval(0, 5), Interval(7, 9)]
+
+    def test_coalesces_touching(self):
+        s = IntervalSet([(0, 3), (3, 5)])
+        assert list(s) == [Interval(0, 5)]
+
+    def test_keeps_disjoint(self):
+        s = IntervalSet([(0, 1), (3, 4)])
+        assert len(s) == 2
+
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s and len(s) == 0 and s.span is None
+
+    def test_contains(self):
+        s = IntervalSet([(0, 2), (5, 7)])
+        assert s.contains(1) and s.contains(5)
+        assert not s.contains(3)
+
+    def test_total_duration(self):
+        assert IntervalSet([(0, 2), (5, 8)]).total_duration() == 5
+
+    def test_intersect_sets(self):
+        a = IntervalSet([(0, 5), (10, 15)])
+        b = IntervalSet([(3, 12)])
+        assert list(a.intersect(b)) == [Interval(3, 5), Interval(10, 12)]
+
+    def test_intersect_disjoint_sets(self):
+        a = IntervalSet([(0, 1)])
+        b = IntervalSet([(2, 3)])
+        assert not a.intersect(b)
+
+    def test_union(self):
+        a = IntervalSet([(0, 2)])
+        b = IntervalSet([(1, 5)])
+        assert list(a.union(b)) == [Interval(0, 5)]
+
+    def test_shrink_drops_vanished(self):
+        s = IntervalSet([(0, 2), (5, 20)]).shrink(2)
+        assert list(s) == [Interval(7, 18)]
+
+    def test_filter_durable(self):
+        s = IntervalSet([(0, 2), (5, 20)]).filter_durable(5)
+        assert list(s) == [Interval(5, 20)]
+
+    def test_span(self):
+        assert IntervalSet([(0, 1), (9, 12)]).span == Interval(0, 12)
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([(0, 3), (2, 5)])
+        b = IntervalSet([(0, 5)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_indexing(self):
+        s = IntervalSet([(5, 6), (0, 1)])
+        assert s[0] == Interval(0, 1)
+
+    def test_coalesce_helper(self):
+        assert coalesce([(1, 2), (2, 4)]) == [Interval(1, 4)]

@@ -1,0 +1,122 @@
+"""Tests for StaticIntervalTree and DynamicIntervalIndex."""
+
+import random
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.datastructures.interval_tree import DynamicIntervalIndex, StaticIntervalTree
+
+
+def brute_overlap(items, probe):
+    return sorted(
+        (iv, p) for iv, p in items if iv.intersects(probe)
+    )
+
+
+def random_items(rng, n, span=100):
+    items = []
+    for i in range(n):
+        lo = rng.randrange(span)
+        hi = lo + rng.randrange(span // 4)
+        items.append((Interval(lo, hi), i))
+    return items
+
+
+class TestStaticTree:
+    def test_empty(self):
+        tree = StaticIntervalTree([])
+        assert len(tree) == 0
+        assert tree.stab(5) == []
+        assert tree.overlapping(Interval(0, 10)) == []
+
+    def test_single_item_stab(self):
+        tree = StaticIntervalTree([(Interval(2, 6), "x")])
+        assert tree.stab(2) == [(Interval(2, 6), "x")]
+        assert tree.stab(6) == [(Interval(2, 6), "x")]
+        assert tree.stab(7) == []
+
+    def test_overlap_touching(self):
+        tree = StaticIntervalTree([(Interval(2, 6), "x")])
+        assert tree.overlapping(Interval(6, 9)) == [(Interval(2, 6), "x")]
+        assert tree.overlapping(Interval(0, 2)) == [(Interval(2, 6), "x")]
+
+    def test_overlap_disjoint(self):
+        tree = StaticIntervalTree([(Interval(2, 6), "x")])
+        assert tree.overlapping(Interval(7, 9)) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        items = random_items(rng, 80)
+        tree = StaticIntervalTree(items)
+        for _ in range(40):
+            lo = rng.randrange(120)
+            probe = Interval(lo, lo + rng.randrange(30))
+            assert sorted(tree.overlapping(probe)) == brute_overlap(items, probe)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stab_randomized(self, seed):
+        rng = random.Random(seed + 100)
+        items = random_items(rng, 60)
+        tree = StaticIntervalTree(items)
+        for t in range(0, 130, 7):
+            expect = sorted((iv, p) for iv, p in items if iv.contains(t))
+            assert sorted(tree.stab(t)) == expect
+
+
+class TestDynamicIndex:
+    def test_empty(self):
+        idx = DynamicIntervalIndex()
+        assert len(idx) == 0
+        assert idx.overlapping(Interval(0, 5)) == []
+
+    def test_insert_then_query(self):
+        idx = DynamicIntervalIndex()
+        idx.insert(Interval(1, 4), "a")
+        idx.insert(Interval(3, 9), "b")
+        hits = {p for _, p in idx.overlapping(Interval(4, 5))}
+        assert hits == {"a", "b"}
+
+    def test_remove(self):
+        idx = DynamicIntervalIndex()
+        idx.insert(Interval(1, 4), "a")
+        idx.remove(Interval(1, 4), "a")
+        assert len(idx) == 0
+        assert idx.overlapping(Interval(0, 10)) == []
+
+    def test_remove_missing(self):
+        idx = DynamicIntervalIndex()
+        with pytest.raises(KeyError):
+            idx.remove(Interval(0, 1), "nope")
+
+    def test_bulk_load(self):
+        rng = random.Random(0)
+        items = random_items(rng, 50)
+        idx = DynamicIntervalIndex(items)
+        assert len(idx) == 50
+        assert sorted(idx.items()) == sorted(items)
+
+    def test_stab(self):
+        idx = DynamicIntervalIndex([(Interval(0, 5), "a"), (Interval(6, 9), "b")])
+        assert [p for _, p in idx.stab(5)] == ["a"]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_mixed_ops(self, seed):
+        rng = random.Random(seed + 9)
+        idx = DynamicIntervalIndex()
+        alive = []
+        for step in range(400):
+            if rng.random() < 0.65 or not alive:
+                lo = rng.randrange(100)
+                iv = Interval(lo, lo + rng.randrange(25))
+                idx.insert(iv, step)
+                alive.append((iv, step))
+            else:
+                victim = alive.pop(rng.randrange(len(alive)))
+                idx.remove(*victim)
+            if step % 20 == 0:
+                lo = rng.randrange(110)
+                probe = Interval(lo, lo + rng.randrange(30))
+                assert sorted(idx.overlapping(probe)) == brute_overlap(alive, probe)
+        assert len(idx) == len(alive)

@@ -1,0 +1,124 @@
+"""Tests for CSV import/export of relations and results."""
+
+import math
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.interval import Interval
+from repro.core.io import (
+    read_database_csv,
+    read_relation_csv,
+    write_database_csv,
+    write_relation_csv,
+    write_results_csv,
+)
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.algorithms.registry import temporal_join
+
+from conftest import random_database
+
+
+class TestRelationRoundTrip:
+    def test_round_trip_values_and_intervals(self, tmp_path):
+        rel = TemporalRelation(
+            "R", ("a", "b"),
+            [(("x", "y"), (0, 10)), (("z", "w"), (5, 7))],
+        )
+        path = tmp_path / "r.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path)
+        assert back.attrs == rel.attrs
+        assert sorted(back.rows) == sorted(rel.rows)
+
+    def test_numeric_value_parser(self, tmp_path):
+        rel = TemporalRelation("R", ("a",), [((7,), (0, 1))])
+        path = tmp_path / "r.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path, value_parser=int)
+        assert back.rows == [((7,), Interval(0, 1))]
+
+    def test_unbounded_endpoints(self, tmp_path):
+        rel = TemporalRelation("R", ("a",), [(("x",), Interval.always())])
+        path = tmp_path / "r.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path)
+        assert back.rows[0][1] == Interval(-math.inf, math.inf)
+
+    def test_float_and_int_endpoints_preserved(self, tmp_path):
+        rel = TemporalRelation(
+            "R", ("a",), [(("x",), (0, 10)), (("y",), (1.5, 2.25))]
+        )
+        path = tmp_path / "r.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path)
+        rows = dict(back.rows)
+        assert rows[("x",)] == Interval(0, 10)
+        assert isinstance(rows[("x",)].lo, int)
+        assert rows[("y",)] == Interval(1.5, 2.25)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        rel = TemporalRelation("orig", ("a",), [(("x",), (0, 1))])
+        path = tmp_path / "edges.csv"
+        write_relation_csv(rel, path)
+        assert read_relation_csv(path).name == "edges"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_too_few_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,valid_from\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,valid_from,valid_to\nx,0\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,valid_from,valid_to\nx,0,5\n\ny,1,2\n")
+        back = read_relation_csv(path)
+        assert len(back) == 2
+
+
+class TestDatabaseRoundTrip:
+    def test_write_then_read_and_join(self, tmp_path, rng):
+        query = JoinQuery.line(3)
+        db = random_database(query, rng, n=10, domain=3)
+        paths = write_database_csv(db, tmp_path / "db")
+        assert set(paths) == set(query.edge_names)
+        back = read_database_csv(query, paths, value_parser=int)
+        original = temporal_join(query, db).normalized()
+        reloaded = temporal_join(query, back).normalized()
+        assert original == reloaded
+
+    def test_read_validates_schema(self, tmp_path):
+        query = JoinQuery.line(2)
+        rel = TemporalRelation("R1", ("wrong", "attrs"), [((1, 2), (0, 1))])
+        path = tmp_path / "r1.csv"
+        write_relation_csv(rel, path)
+        other = TemporalRelation("R2", ("x2", "x3"), [((2, 3), (0, 1))])
+        path2 = tmp_path / "r2.csv"
+        write_relation_csv(other, path2)
+        with pytest.raises(SchemaError):
+            read_database_csv(query, {"R1": path, "R2": path2})
+
+
+class TestResultsExport:
+    def test_results_csv_has_durability(self, tmp_path, rng):
+        query = JoinQuery.star(2)
+        db = random_database(query, rng, n=10, domain=3)
+        results = temporal_join(query, db)
+        path = tmp_path / "out.csv"
+        write_results_csv(results, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].endswith("valid_from,valid_to,durability")
+        assert len(lines) == len(results) + 1

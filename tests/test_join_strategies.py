@@ -1,0 +1,110 @@
+"""Tests for the three binary interval-join families."""
+
+import random
+
+import pytest
+
+from repro.algorithms.binary import binary_temporal_join
+from repro.algorithms.baseline import baseline_join
+from repro.algorithms.interval_join import (
+    JOIN_STRATEGIES,
+    forward_scan_join,
+    index_nested_join,
+    interval_join,
+    sort_merge_join,
+)
+from repro.algorithms.naive import naive_join
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+
+from conftest import random_database
+
+
+def random_items(rng, n, prefix, span=60):
+    items = []
+    for i in range(n):
+        lo = rng.randrange(span)
+        items.append((f"{prefix}{i}", Interval(lo, lo + rng.randrange(20))))
+    return items
+
+
+class TestSortMerge:
+    def test_simple_pair(self):
+        out = sort_merge_join(
+            [("a", Interval(0, 5))], [("b", Interval(3, 9))]
+        )
+        assert out == [("a", "b", Interval(3, 5))]
+
+    def test_touching(self):
+        out = sort_merge_join(
+            [("a", Interval(0, 5))], [("b", Interval(5, 9))]
+        )
+        assert out == [("a", "b", Interval(5, 5))]
+
+    def test_empty_sides(self):
+        assert sort_merge_join([], [("b", Interval(0, 1))]) == []
+        assert sort_merge_join([("a", Interval(0, 1))], []) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_forward_scan(self, seed):
+        rng = random.Random(seed)
+        left = random_items(rng, 35, "l")
+        right = random_items(rng, 30, "r")
+        fs = sorted(forward_scan_join(left, right))
+        sm = sorted(sort_merge_join(left, right))
+        assert fs == sm
+
+    def test_each_pair_once(self):
+        rng = random.Random(3)
+        left = random_items(rng, 40, "l")
+        right = random_items(rng, 40, "r")
+        pairs = sort_merge_join(left, right)
+        keys = [(a, b) for a, b, _ in pairs]
+        assert len(keys) == len(set(keys))
+
+
+class TestDispatch:
+    def test_all_strategies_registered(self):
+        assert set(JOIN_STRATEGIES) == {"forward-scan", "index", "sort-merge"}
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            interval_join([], [], strategy="quantum")
+
+    @pytest.mark.parametrize("strategy", sorted(JOIN_STRATEGIES))
+    def test_strategies_agree(self, strategy):
+        rng = random.Random(9)
+        left = random_items(rng, 30, "l")
+        right = random_items(rng, 30, "r")
+        got = sorted(interval_join(left, right, strategy=strategy))
+        want = sorted(forward_scan_join(left, right))
+        assert got == want
+
+
+class TestThreadThrough:
+    @pytest.mark.parametrize("strategy", sorted(JOIN_STRATEGIES))
+    def test_binary_join_strategy(self, strategy, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=15, domain=4)
+        got = binary_temporal_join(db["R1"], db["R2"], strategy=strategy)
+        want = binary_temporal_join(db["R1"], db["R2"])
+        assert sorted(got.rows) == sorted(want.rows)
+
+    @pytest.mark.parametrize("strategy", sorted(JOIN_STRATEGIES))
+    def test_baseline_strategy(self, strategy, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=12, domain=3)
+        got = baseline_join(q, db, binary_strategy=strategy)
+        want = naive_join(q, db)
+        assert got.normalized() == want.normalized()
+
+    def test_strategy_via_registry(self, rng):
+        from repro.algorithms.registry import temporal_join
+
+        q = JoinQuery.star(3)
+        db = random_database(q, rng, n=10, domain=3)
+        got = temporal_join(
+            q, db, algorithm="baseline", binary_strategy="sort-merge"
+        )
+        want = temporal_join(q, db, algorithm="naive")
+        assert got.normalized() == want.normalized()

@@ -1,0 +1,69 @@
+"""Tests for the JOINFIRST baseline."""
+
+import pytest
+
+from repro.algorithms.joinfirst import joinfirst_join
+from repro.algorithms.naive import naive_join, naive_nontemporal_join
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+
+from conftest import random_database
+
+
+class TestJoinFirst:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            JoinQuery.line(3),
+            JoinQuery.star(3),
+            JoinQuery.triangle(),
+            JoinQuery.cycle(4),
+            JoinQuery.bowtie(),
+        ],
+    )
+    def test_matches_naive(self, query, rng):
+        for _ in range(3):
+            db = random_database(query, rng, n=10, domain=3)
+            got = joinfirst_join(query, db)
+            want = naive_join(query, db)
+            assert got.normalized() == want.normalized()
+
+    def test_durable(self, rng):
+        q = JoinQuery.line(3)
+        for tau in [0, 4, 9]:
+            db = random_database(q, rng, n=12, domain=3)
+            got = joinfirst_join(q, db, tau=tau)
+            want = naive_join(q, db, tau=tau)
+            assert got.normalized() == want.normalized()
+
+    def test_filters_temporal_nonanswers(self):
+        # Value matches exist but intervals never intersect.
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 5))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (10, 20))]),
+        }
+        assert len(naive_nontemporal_join(q, db)) == 1
+        assert len(joinfirst_join(q, db)) == 0
+
+    def test_interval_attached(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 8))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (4, 20))]),
+        }
+        out = joinfirst_join(q, db)
+        assert out.rows == [((1, 2, 3), Interval(4, 8))]
+
+    def test_pays_for_nontemporal_blowup(self, rng):
+        """Witness the strategy's weakness: it enumerates every value match."""
+        q = JoinQuery.line(2)
+        hub = [((i, 0), (i * 10, i * 10 + 1)) for i in range(30)]
+        spokes = [((0, i), (5000 + i, 5000 + i)) for i in range(30)]
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), hub),
+            "R2": TemporalRelation("R2", ("x2", "x3"), spokes),
+        }
+        out = joinfirst_join(q, db)
+        assert len(out) == 0  # all 900 value pairs are temporally dead

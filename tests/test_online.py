@@ -1,0 +1,122 @@
+"""Tests for the online (streaming) temporal join operator."""
+
+import random
+
+import pytest
+
+from repro.algorithms.naive import naive_join
+from repro.algorithms.online import (
+    OnlineTemporalJoin,
+    arrivals_from_database,
+    stream_temporal_join,
+)
+from repro.core.errors import QueryError
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.core.result import JoinResultSet
+
+from conftest import random_database
+
+
+class TestBasics:
+    def test_simple_pair_emitted_at_expiry(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        assert op.insert("R1", (1, "h"), (0, 10)) == []
+        assert op.insert("R2", (2, "h"), (2, 5)) == []
+        out = op.advance_to(6)
+        assert out == [((1, "h", 2), Interval(2, 5))]
+
+    def test_insert_drains_earlier_expirations(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 3))
+        op.insert("R2", (2, "h"), (1, 2))
+        # An arrival at t=5 proves both earlier tuples expired.
+        out = op.insert("R1", (9, "h"), (5, 8))
+        assert out == [((1, "h", 2), Interval(1, 2))]
+
+    def test_touching_arrival_at_watermark_joins(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 5))
+        op.advance_to(5)  # must NOT expire [0,5] yet
+        op.insert("R2", (2, "h"), (5, 9))
+        out = op.finish()
+        assert ((1, "h", 2), Interval(5, 5)) in out
+
+    def test_finish_flushes_and_closes(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 5))
+        op.insert("R2", (2, "h"), (0, 5))
+        out = op.finish()
+        assert len(out) == 1
+        with pytest.raises(QueryError):
+            op.insert("R1", (3, "h"), (9, 10))
+        with pytest.raises(QueryError):
+            op.advance_to(100)
+
+    def test_strict_rejects_out_of_order(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 2))
+        op.insert("R1", (2, "h"), (10, 12))  # drains the first expiry
+        with pytest.raises(QueryError):
+            op.insert("R2", (3, "h"), (1, 20))
+
+    def test_lenient_clamps_out_of_order(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q, strict=False)
+        op.insert("R1", (1, "h"), (0, 2))
+        op.insert("R1", (2, "h"), (10, 12))
+        op.insert("R2", (3, "h"), (1, 20))  # clamped to [2, 20]
+        out = op.finish()
+        values = {v for v, _ in out}
+        assert (2, "h", 3) in values  # joins the second tuple
+        assert (1, "h", 3) not in values  # the first was already expired
+
+    def test_active_count_is_bounded(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        for i in range(50):
+            op.insert("R1", (i, "h"), (i, i + 1))
+            assert op.active_count <= 2
+        op.finish()
+        assert op.active_count == 0
+
+
+class TestEquivalenceWithOffline:
+    @pytest.mark.parametrize(
+        "query",
+        [JoinQuery.star(3), JoinQuery.line(3), JoinQuery.triangle(), JoinQuery.hier()],
+    )
+    def test_stream_matches_offline(self, query, rng):
+        from repro.algorithms.timefirst import timefirst_join
+
+        for _ in range(3):
+            db = random_database(query, rng, n=12, domain=3)
+            arrivals = arrivals_from_database(db)
+            streamed = JoinResultSet(
+                query.attrs, stream_temporal_join(query, arrivals)
+            )
+            offline = naive_join(query, db)
+            assert streamed.normalized() == offline.normalized()
+
+    def test_results_accumulate(self, rng):
+        query = JoinQuery.star(2)
+        db = random_database(query, rng, n=15, domain=3)
+        op = OnlineTemporalJoin(query)
+        emitted = []
+        for relation, values, interval in arrivals_from_database(db):
+            emitted.extend(op.insert(relation, values, interval))
+        emitted.extend(op.finish())
+        assert sorted(emitted) == sorted(op.results().rows)
+
+    def test_each_result_emitted_once(self, rng):
+        query = JoinQuery.star(2)
+        db = random_database(query, rng, n=15, domain=2, time_span=10)
+        arrivals = arrivals_from_database(db)
+        rows = list(stream_temporal_join(query, arrivals))
+        assert len(rows) == len(set(rows))

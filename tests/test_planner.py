@@ -1,0 +1,71 @@
+"""Tests for the Figure 7 guideline planner."""
+
+import pytest
+
+from repro.core.planner import plan
+from repro.core.classification import QueryClass
+from repro.core.query import JoinQuery
+
+
+class TestDecisions:
+    @pytest.mark.parametrize("query", [JoinQuery.star(3), JoinQuery.hier()])
+    def test_hierarchical_goes_timefirst(self, query):
+        p = plan(query)
+        assert p.query_class is QueryClass.HIERARCHICAL
+        assert p.algorithm == "timefirst"
+        assert p.exponent == 1.0
+
+    def test_r_hierarchical_goes_timefirst_with_note(self):
+        q = JoinQuery({"R1": ("a", "b", "c"), "R2": ("a", "b"), "R3": ("b", "c")})
+        p = plan(q)
+        assert p.query_class is QueryClass.R_HIERARCHICAL
+        assert p.algorithm == "timefirst"
+        assert any("r-hierarchical" in note for note in p.notes)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_lines_prefer_hybrid_interval(self, n):
+        p = plan(JoinQuery.line(n))
+        assert p.query_class is QueryClass.ACYCLIC
+        assert p.algorithm == "hybrid-interval"
+        assert p.guarded
+        assert "timefirst" in p.alternatives
+        assert "hybrid" in p.alternatives  # hhtw = 2
+        assert p.exponent == 2.0
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_cycles_go_hybrid(self, n):
+        p = plan(JoinQuery.cycle(n))
+        assert p.query_class is QueryClass.CYCLIC
+        assert p.algorithm == "hybrid"
+        assert not p.guarded
+
+    def test_triangle_exponent(self):
+        # Triangle: fhtw = 1.5, hhtw = 1.5 → exponent min(2.5, 1.5) = 1.5.
+        p = plan(JoinQuery.triangle())
+        assert p.fhtw == 1.5 and p.hhtw == 1.5
+        assert p.exponent == 1.5
+
+    def test_cycle4_exponent(self):
+        p = plan(JoinQuery.cycle(4))
+        assert p.fhtw == 2.0 and p.hhtw == 2.0
+        assert p.exponent == 2.0
+
+    def test_bowtie_exponent(self):
+        p = plan(JoinQuery.bowtie())
+        assert p.fhtw == 1.5 and p.hhtw == 1.5
+        assert p.exponent == 1.5
+        # fhtw + 1 = 2.5 > hhtw = 1.5 → timefirst not listed... actually
+        # the rule lists timefirst when fhtw + 1 <= hhtw, which fails here.
+        assert "timefirst" not in p.alternatives
+
+
+class TestExplain:
+    def test_explain_renders_all_fields(self):
+        text = plan(JoinQuery.line(3)).explain()
+        assert "fhtw" in text and "hybrid-interval" in text
+        assert "guarded" in text
+
+    def test_explain_hierarchical(self):
+        text = plan(JoinQuery.star(4)).explain()
+        assert "timefirst" in text
+        assert "optimal" in text

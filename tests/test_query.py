@@ -1,0 +1,143 @@
+"""Tests for repro.core.query.JoinQuery and database binding."""
+
+import pytest
+
+from repro.core.errors import QueryError, SchemaError
+from repro.core.hypergraph import Hypergraph
+from repro.core.query import JoinQuery, self_join_database
+from repro.core.relation import TemporalRelation
+
+
+class TestConstructors:
+    def test_line_shape(self):
+        q = JoinQuery.line(3)
+        assert q.edge_names == ["R1", "R2", "R3"]
+        assert q.edge("R2") == ("x2", "x3")
+        assert q.attrs == ("x1", "x2", "x3", "x4")
+
+    def test_line_minimum(self):
+        with pytest.raises(QueryError):
+            JoinQuery.line(0)
+
+    def test_star_shape(self):
+        q = JoinQuery.star(3)
+        assert all(q.edge(n)[1] == "y" for n in q.edge_names)
+
+    def test_star_custom_center(self):
+        q = JoinQuery.star(2, center="s")
+        assert q.edge("R1") == ("x1", "s")
+
+    def test_cycle_shape(self):
+        q = JoinQuery.cycle(4)
+        assert q.edge("R4") == ("x4", "x1")
+        assert len(q.attrs) == 4
+
+    def test_cycle_minimum(self):
+        with pytest.raises(QueryError):
+            JoinQuery.cycle(2)
+
+    def test_triangle_is_cycle3(self):
+        assert JoinQuery.triangle().hypergraph == JoinQuery.cycle(3).hypergraph
+
+    def test_bowtie_shares_x1(self):
+        q = JoinQuery.bowtie()
+        assert len(q.hypergraph.edges_of("x1")) == 4
+
+    def test_hier_matches_figure3(self):
+        q = JoinQuery.hier()
+        assert q.edge("R2") == ("A", "B", "D")
+        assert q.is_hierarchical
+
+    def test_custom_attr_order(self):
+        q = JoinQuery({"R": ("a", "b")}, attr_order=("b", "a"))
+        assert q.attrs == ("b", "a")
+
+    def test_bad_attr_order_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery({"R": ("a", "b")}, attr_order=("a",))
+
+    def test_from_hypergraph(self):
+        h = Hypergraph({"R": ("a",)})
+        q = JoinQuery.from_hypergraph(h)
+        assert q.hypergraph is h
+
+
+class TestIntrospection:
+    def test_attr_position(self):
+        q = JoinQuery.line(2)
+        assert q.attr_position("x2") == 1
+
+    def test_attr_position_unknown(self):
+        with pytest.raises(QueryError):
+            JoinQuery.line(2).attr_position("zzz")
+
+    def test_classification_properties(self):
+        assert JoinQuery.star(3).is_hierarchical
+        assert JoinQuery.line(3).is_acyclic and not JoinQuery.line(3).is_hierarchical
+        assert not JoinQuery.triangle().is_acyclic
+
+    def test_repr_mentions_edges(self):
+        assert "R1" in repr(JoinQuery.line(2))
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 1))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (0, 1))]),
+        }
+        q.validate(db)  # no raise
+
+    def test_validate_attr_order_may_differ(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x2", "x1"), [((2, 1), (0, 1))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (0, 1))]),
+        }
+        q.validate(db)  # set equality is enough
+
+    def test_validate_missing_relation(self):
+        q = JoinQuery.line(2)
+        with pytest.raises(SchemaError):
+            q.validate({"R1": TemporalRelation("R1", ("x1", "x2"))})
+
+    def test_validate_wrong_schema(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "zz")),
+            "R2": TemporalRelation("R2", ("x2", "x3")),
+        }
+        with pytest.raises(SchemaError):
+            q.validate(db)
+
+    def test_input_size(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 1))]),
+            "R2": TemporalRelation(
+                "R2", ("x2", "x3"), [((2, 3), (0, 1)), ((2, 4), (0, 1))]
+            ),
+        }
+        assert q.input_size(db) == 3
+
+
+class TestSelfJoinDatabase:
+    def test_binds_every_edge(self):
+        rel = TemporalRelation("E", ("u", "v"), [((1, 2), (0, 5))])
+        q = JoinQuery.triangle()
+        db = self_join_database(q, rel)
+        assert set(db) == {"R1", "R2", "R3"}
+        assert db["R2"].attrs == ("x2", "x3")
+        assert db["R2"].rows == rel.rows
+
+    def test_requires_binary_input(self):
+        rel = TemporalRelation("E", ("u", "v", "w"), [((1, 2, 3), (0, 5))])
+        with pytest.raises(SchemaError):
+            self_join_database(JoinQuery.line(2), rel)
+
+    def test_requires_binary_edges(self):
+        rel = TemporalRelation("E", ("u", "v"), [((1, 2), (0, 5))])
+        q = JoinQuery({"R1": ("a", "b", "c")})
+        with pytest.raises(QueryError):
+            self_join_database(q, rel)

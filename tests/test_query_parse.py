@@ -1,0 +1,58 @@
+"""Tests for JoinQuery.parse (the paper's ⋈ notation)."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.query import JoinQuery
+
+
+class TestParse:
+    def test_basic(self):
+        q = JoinQuery.parse("R1(x1, x2) ⋈ R2(x2, x3)")
+        assert q.edge_names == ["R1", "R2"]
+        assert q.edge("R1") == ("x1", "x2")
+        assert q.hypergraph == JoinQuery.line(2).hypergraph
+
+    def test_ascii_join_symbols(self):
+        a = JoinQuery.parse("R1(a,b) |x| R2(b,c)")
+        b = JoinQuery.parse("R1(a,b) JOIN R2(b,c)")
+        c = JoinQuery.parse("R1(a,b) ⋈ R2(b,c)")
+        assert a.hypergraph == b.hypergraph == c.hypergraph
+
+    def test_whitespace_tolerant(self):
+        q = JoinQuery.parse("  R1( a , b )   ⋈R2(b,c)")
+        assert q.edge("R1") == ("a", "b")
+
+    def test_triangle(self):
+        q = JoinQuery.parse("R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x3,x1)")
+        assert q.hypergraph == JoinQuery.triangle().hypergraph
+
+    def test_wide_relation(self):
+        q = JoinQuery.parse("L(ok, pk, sk) ⋈ PS(pk, sk)")
+        assert q.edge("L") == ("ok", "pk", "sk")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery.parse("   ")
+
+    def test_missing_parens_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery.parse("R1 x1 x2 ⋈ R2(x2)")
+
+    def test_empty_attrs_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery.parse("R1() ⋈ R2(a)")
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery.parse("R(a,b) ⋈ R(b,c)")
+
+    def test_parsed_query_runs(self, rng):
+        from conftest import random_database
+        from repro.algorithms.registry import temporal_join
+
+        q = JoinQuery.parse("R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4)")
+        db = random_database(q, rng, n=8, domain=3)
+        out = temporal_join(q, db)
+        ref = temporal_join(q, db, algorithm="naive")
+        assert out.normalized() == ref.normalized()

@@ -1,0 +1,60 @@
+"""Tests for the algorithm registry and the temporal_join entry point."""
+
+import pytest
+
+from repro.algorithms.registry import available_algorithms, get_algorithm, temporal_join
+from repro.core.errors import QueryError
+from repro.core.query import JoinQuery
+
+from conftest import random_database
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in [
+            "timefirst",
+            "hybrid",
+            "hybrid-interval",
+            "baseline",
+            "joinfirst",
+            "naive",
+        ]:
+            assert expected in names
+
+    def test_get_algorithm(self):
+        fn = get_algorithm("timefirst")
+        assert callable(fn)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(QueryError):
+            get_algorithm("quantum")
+
+
+class TestTemporalJoinDispatch:
+    def test_auto_matches_explicit(self, rng):
+        for query in [JoinQuery.line(3), JoinQuery.star(3), JoinQuery.cycle(4)]:
+            db = random_database(query, rng, n=10, domain=3)
+            auto = temporal_join(query, db, algorithm="auto")
+            naive = temporal_join(query, db, algorithm="naive")
+            assert auto.normalized() == naive.normalized()
+
+    def test_unknown_algorithm_raises(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng)
+        with pytest.raises(QueryError):
+            temporal_join(q, db, algorithm="quantum")
+
+    def test_kwargs_forwarded(self, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=8, domain=3)
+        out = temporal_join(q, db, algorithm="baseline", order=["R2", "R1", "R3"])
+        assert out.normalized() == temporal_join(q, db, algorithm="naive").normalized()
+
+    def test_tau_kwarg(self, rng):
+        q = JoinQuery.star(3)
+        db = random_database(q, rng, n=10, domain=3)
+        full = temporal_join(q, db)
+        durable = temporal_join(q, db, tau=5)
+        assert len(durable) <= len(full)
+        assert durable.normalized() == full.filter_durable(5).normalized()

@@ -1,0 +1,96 @@
+"""Tests for the bisect-backed SortedList."""
+
+import random
+
+import pytest
+
+from repro.datastructures.sorted_list import SortedList
+
+
+class TestBasics:
+    def test_init_sorts(self):
+        s = SortedList([3, 1, 2])
+        assert list(s) == [1, 2, 3]
+
+    def test_add_keeps_order(self):
+        s = SortedList([1, 5])
+        s.add(3)
+        assert list(s) == [1, 3, 5]
+
+    def test_multiset(self):
+        s = SortedList([2, 2])
+        s.add(2)
+        assert len(s) == 3
+
+    def test_contains(self):
+        s = SortedList([1, 3])
+        assert 3 in s and 2 not in s
+
+    def test_remove(self):
+        s = SortedList([1, 2, 2, 3])
+        s.remove(2)
+        assert list(s) == [1, 2, 3]
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            SortedList([1]).remove(9)
+
+    def test_discard(self):
+        s = SortedList([1, 2])
+        assert s.discard(2)
+        assert not s.discard(2)
+
+    def test_indexing(self):
+        s = SortedList([5, 1])
+        assert s[0] == 1 and s[-1] == 5
+
+    def test_min_max(self):
+        s = SortedList([4, 9, 2])
+        assert s.min() == 2 and s.max() == 9
+
+    def test_min_empty(self):
+        with pytest.raises(IndexError):
+            SortedList().min()
+
+
+class TestRangeQueries:
+    def test_index_left_right(self):
+        s = SortedList([1, 2, 2, 4])
+        assert s.index_left(2) == 1
+        assert s.index_right(2) == 3
+
+    def test_first_geq(self):
+        s = SortedList([1, 4, 7])
+        assert s.first_geq(4) == 4
+        assert s.first_geq(5) == 7
+        assert s.first_geq(8) is None
+
+    def test_last_leq(self):
+        s = SortedList([1, 4, 7])
+        assert s.last_leq(4) == 4
+        assert s.last_leq(6) == 4
+        assert s.last_leq(0) is None
+
+    def test_irange_inclusive(self):
+        s = SortedList(range(10))
+        assert list(s.irange(3, 6)) == [3, 4, 5, 6]
+
+    def test_count_range(self):
+        s = SortedList([1, 2, 2, 5, 9])
+        assert s.count_range(2, 5) == 3
+
+    def test_randomized_against_list(self):
+        rng = random.Random(11)
+        s = SortedList()
+        ref = []
+        for _ in range(1500):
+            if rng.random() < 0.6 or not ref:
+                x = rng.randrange(100)
+                s.add(x)
+                ref.append(x)
+                ref.sort()
+            else:
+                x = rng.choice(ref)
+                s.remove(x)
+                ref.remove(x)
+            assert list(s) == ref

@@ -1,0 +1,133 @@
+"""Tests for the TIMEFIRST driver and the generic GHD sweep state."""
+
+import pytest
+
+from repro.algorithms.generic_state import GenericGHDState
+from repro.algorithms.naive import naive_join
+from repro.algorithms.timefirst import sweep, timefirst_join
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+
+from conftest import random_database
+
+
+class TestGenericState:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            JoinQuery.line(3),
+            JoinQuery.line(4),
+            JoinQuery.triangle(),
+            JoinQuery.cycle(4),
+            JoinQuery.cycle(5),
+            JoinQuery.bowtie(),
+        ],
+    )
+    def test_matches_naive(self, query, rng):
+        for _ in range(4):
+            db = random_database(query, rng, n=10, domain=3)
+            state = GenericGHDState(query, db)
+            got = sweep(query, db, state)
+            want = naive_join(query, db)
+            assert got.normalized() == want.normalized()
+
+    def test_acyclic_uses_trivial_ghd(self):
+        state = GenericGHDState(JoinQuery.line(4))
+        assert state.ghd.is_trivial()
+
+    def test_cyclic_uses_fhtw_ghd(self):
+        state = GenericGHDState(JoinQuery.triangle())
+        assert len(state.ghd.bags) == 1
+
+    def test_insert_delete_bookkeeping(self):
+        q = JoinQuery.line(2)
+        state = GenericGHDState(q)
+        state.insert("R1", (1, 2), Interval(0, 5))
+        assert (1, 2) in state._active["R1"]
+        assert state._attr_index["R1"]["x2"][2] == {(1, 2)}
+        state.delete("R1", (1, 2), Interval(0, 5))
+        assert not state._active["R1"]
+        assert 2 not in state._attr_index["R1"]["x2"]
+
+    def test_enumerate_prunes_early(self):
+        # No matching partner: enumerate returns without materializing.
+        q = JoinQuery.line(2)
+        state = GenericGHDState(q)
+        from repro.core.result import JoinResultSet
+
+        out = JoinResultSet(q.attrs)
+        state.insert("R1", (1, 2), Interval(0, 5))
+        state.enumerate_results("R1", (1, 2), Interval(0, 5), out)
+        assert len(out) == 0
+
+
+class TestTimefirstDispatch:
+    def test_hierarchical_query_uses_hierarchical_state(self, rng):
+        # Indirect check: results still correct and attribute layout right.
+        q = JoinQuery.star(3)
+        db = random_database(q, rng, n=10, domain=3)
+        got = timefirst_join(q, db)
+        assert got.attrs == q.attrs
+        assert got.normalized() == naive_join(q, db).normalized()
+
+    def test_explicit_state_factory(self, rng):
+        q = JoinQuery.star(3)
+        db = random_database(q, rng, n=8, domain=3)
+        got = timefirst_join(
+            q, db, state_factory=lambda query, database: GenericGHDState(query, database)
+        )
+        assert got.normalized() == naive_join(q, db).normalized()
+
+    def test_durable_join(self, rng):
+        q = JoinQuery.line(3)
+        for tau in [0, 3, 8]:
+            db = random_database(q, rng, n=12, domain=3)
+            got = timefirst_join(q, db, tau=tau)
+            want = naive_join(q, db, tau=tau)
+            assert got.normalized() == want.normalized()
+
+    def test_durable_results_keep_original_intervals(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 10))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (2, 20))]),
+        }
+        got = timefirst_join(q, db, tau=6)
+        # Result interval must be the un-shrunk [2, 10].
+        assert got.rows == [((1, 2, 3), Interval(2, 10))]
+
+    def test_empty_database(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2")),
+            "R2": TemporalRelation("R2", ("x2", "x3")),
+        }
+        assert len(timefirst_join(q, db)) == 0
+
+    def test_negative_and_float_times(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (-5.5, 0.5))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (-1.25, 9.0))]),
+        }
+        got = timefirst_join(q, db)
+        assert got.rows == [((1, 2, 3), Interval(-1.25, 0.5))]
+
+    def test_unbounded_intervals(self):
+        q = JoinQuery.line(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), Interval.always())]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (4, 7))]),
+        }
+        got = timefirst_join(q, db)
+        assert got.rows == [((1, 2, 3), Interval(4, 7))]
+
+    def test_string_and_mixed_domains(self):
+        q = JoinQuery.star(2)
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "y"), [(("alpha", 0), (0, 4))]),
+            "R2": TemporalRelation("R2", ("x2", "y"), [((17, 0), (2, 6))]),
+        }
+        got = timefirst_join(q, db)
+        assert got.values_only() == [("alpha", 0, 17)]

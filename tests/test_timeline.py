@@ -1,0 +1,133 @@
+"""Tests for result timelines (concurrency step functions)."""
+
+import random
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.core.result import JoinResultSet
+from repro.core.timeline import (
+    Timeline,
+    busiest_instant,
+    concurrency_timeline,
+    result_timeline,
+)
+
+
+class TestTimelineObject:
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline((0, 1), (1.0,), (0.0, 0.0))
+
+    def test_value_at_points_and_gaps(self):
+        tl = Timeline((0, 5, 10), (1.0, 3.0, 1.0), (1.0, 1.0, 0.0))
+        assert tl.value_at(-1) == 0.0
+        assert tl.value_at(0) == 1.0
+        assert tl.value_at(2.5) == 1.0
+        assert tl.value_at(5) == 3.0  # spike at the event instant
+        assert tl.value_at(7) == 1.0
+        assert tl.value_at(10) == 1.0
+        assert tl.value_at(11) == 0.0
+
+    def test_empty(self):
+        tl = Timeline((), (), ())
+        assert tl.value_at(5) == 0.0
+        assert tl.peak() == (0, 0.0)
+        assert tl.integral() == 0.0
+
+    def test_peak_at_event_instant(self):
+        tl = Timeline((0, 5, 10), (1.0, 3.0, 1.0), (1.0, 1.0, 0.0))
+        assert tl.peak() == (5, 3.0)
+
+    def test_peak_earliest_tie(self):
+        tl = Timeline((0, 5), (2.0, 2.0), (1.0, 0.0))
+        assert tl.peak() == (0, 2.0)
+
+    def test_integral_uses_gap_values(self):
+        tl = Timeline((0, 5, 10), (9.0, 9.0, 9.0), (1.0, 2.0, 0.0))
+        assert tl.integral() == 5 * 1.0 + 5 * 2.0
+
+    def test_support_and_segments(self):
+        tl = Timeline((0, 5, 10), (1.0, 1.0, 1.0), (1.0, 0.0, 0.0))
+        assert tl.support() == Interval(0, 10)
+        assert tl.segments() == [(0, 5, 1.0), (5, 10, 0.0)]
+        assert tl.nonzero_segments() == [(0, 5, 1.0)]
+
+    def test_sample(self):
+        tl = Timeline((0, 10), (2.0, 2.0), (2.0, 0.0))
+        assert tl.sample([-1, 0, 5, 10, 11]) == [0.0, 2.0, 2.0, 2.0, 0.0]
+
+
+class TestConcurrency:
+    def test_empty(self):
+        tl = concurrency_timeline([])
+        assert tl.points == () and tl.value_at(0) == 0.0
+
+    def test_single_interval(self):
+        tl = concurrency_timeline([Interval(2, 6)])
+        assert tl.value_at(1) == 0
+        assert tl.value_at(2) == 1
+        assert tl.value_at(4) == 1
+        assert tl.value_at(6) == 1  # closed at the right endpoint
+        assert tl.value_at(6.5) == 0
+
+    def test_overlap_counts(self):
+        tl = concurrency_timeline([Interval(0, 10), Interval(5, 15)])
+        assert tl.value_at(3) == 1
+        assert tl.value_at(7) == 2
+        assert tl.value_at(12) == 1
+
+    def test_touching_endpoints_count_both(self):
+        tl = concurrency_timeline([Interval(0, 5), Interval(5, 10)])
+        assert tl.value_at(5) == 2
+        assert tl.value_at(4.5) == 1
+        assert tl.value_at(5.5) == 1
+
+    def test_instant_interval(self):
+        tl = concurrency_timeline([Interval(3, 3)])
+        assert tl.value_at(3) == 1
+        assert tl.value_at(2.99) == 0
+        assert tl.value_at(3.01) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_pointwise_everywhere(self, seed):
+        rng = random.Random(seed)
+        intervals = []
+        for _ in range(40):
+            lo = rng.randrange(50)
+            intervals.append(Interval(lo, lo + rng.randrange(15)))
+        tl = concurrency_timeline(intervals)
+        probes = [t / 2 for t in range(-4, 140)]  # integers and midpoints
+        for t in probes:
+            expected = sum(1 for iv in intervals if iv.contains(t))
+            assert tl.value_at(t) == expected, t
+
+    def test_integral_equals_total_duration_when_disjoint(self):
+        intervals = [Interval(0, 3), Interval(10, 14)]
+        tl = concurrency_timeline(intervals)
+        assert tl.integral() == 7
+
+    def test_integral_counts_multiplicity(self):
+        intervals = [Interval(0, 10), Interval(0, 10)]
+        assert concurrency_timeline(intervals).integral() == 20
+
+
+class TestResultTimeline:
+    def _results(self):
+        rs = JoinResultSet(("a",))
+        rs.append((1,), Interval(0, 10))
+        rs.append((2,), Interval(5, 20))
+        rs.append((3,), Interval(6, 8))
+        return rs
+
+    def test_result_timeline(self):
+        tl = result_timeline(self._results())
+        assert tl.value_at(7) == 3
+
+    def test_busiest_instant(self):
+        instant, value = busiest_instant(self._results())
+        assert value == 3
+        assert 6 <= instant <= 8
+
+    def test_empty_results(self):
+        assert busiest_instant(JoinResultSet(("a",))) == (0, 0.0)

@@ -1,0 +1,67 @@
+"""Tests for the hash trie behind GenericJoin."""
+
+import pytest
+
+from repro.datastructures.trie import RelationTrie
+
+
+def build():
+    t = RelationTrie(("a", "b", "c"))
+    t.insert((1, 2, 3), "p1")
+    t.insert((1, 2, 4), "p2")
+    t.insert((1, 5, 6), "p3")
+    t.insert((7, 8, 9), "p4")
+    return t
+
+
+class TestTrie:
+    def test_len(self):
+        assert len(build()) == 4
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            build().insert((1, 2), None)
+
+    def test_candidate_values_root(self):
+        assert sorted(build().candidate_values(())) == [1, 7]
+
+    def test_candidate_values_deeper(self):
+        assert sorted(build().candidate_values((1,))) == [2, 5]
+        assert sorted(build().candidate_values((1, 2))) == [3, 4]
+
+    def test_candidate_values_dead_prefix(self):
+        assert build().candidate_values((99,)) is None
+
+    def test_candidate_count(self):
+        t = build()
+        assert t.candidate_count(()) == 2
+        assert t.candidate_count((1, 2)) == 2
+        assert t.candidate_count((99,)) == 0
+
+    def test_has_prefix(self):
+        t = build()
+        assert t.has_prefix(())
+        assert t.has_prefix((1, 5))
+        assert t.has_prefix((1, 5, 6))
+        assert not t.has_prefix((1, 9))
+
+    def test_payloads(self):
+        t = build()
+        assert t.payloads((1, 2, 3)) == ["p1"]
+        assert t.payloads((1, 2, 99)) == []
+
+    def test_duplicate_tuple_collects_payloads(self):
+        t = RelationTrie(("a",))
+        t.insert((1,), "x")
+        t.insert((1,), "y")
+        assert t.payloads((1,)) == ["x", "y"]
+        assert len(t) == 2
+
+    def test_unary_relation(self):
+        t = RelationTrie(("a",), [((3,), None), ((5,), None)])
+        assert sorted(t.candidate_values(())) == [3, 5]
+
+    def test_children_at_leaf_level_returns_value_map(self):
+        t = build()
+        node = t.children((1, 2))
+        assert set(node) == {3, 4}

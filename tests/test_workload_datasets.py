@@ -1,0 +1,160 @@
+"""Tests for the dataset-like generators: DBLP, Flights, TPC-BiH, TPC-E, LDBC."""
+
+import pytest
+
+from repro.algorithms.registry import temporal_join
+from repro.core.query import JoinQuery, self_join_database
+from repro.workloads import dblp, flights, ldbc, tpc_bih, tpce
+
+
+class TestDBLP:
+    def test_determinism_and_scale(self):
+        cfg = dblp.DBLPConfig(n_authors=150, n_edges=350)
+        a = dblp.generate_graph(cfg)
+        b = dblp.generate_graph(cfg)
+        assert a.edges == b.edges
+        assert a.edge_count >= 300  # allows a small shortfall
+
+    def test_intervals_within_year_range(self):
+        cfg = dblp.DBLPConfig(n_authors=100, n_edges=250)
+        g = dblp.generate_graph(cfg)
+        for _, _, ivl in g.edges:
+            assert cfg.first_year <= ivl.lo <= ivl.hi <= cfg.last_year
+
+    def test_some_multi_episode_pairs(self):
+        cfg = dblp.DBLPConfig(n_authors=100, n_edges=400, episode_fraction=0.5)
+        g = dblp.generate_graph(cfg)
+        episodes = g.edge_relation_episodes()
+        assert any(len(ivs) > 1 for _, ivs in episodes)
+
+    def test_toy_figure1_graph_matches_paper(self):
+        g = dblp.toy_figure1_graph()
+        assert g.edge_count == 7
+        results = g.pattern_join(JoinQuery.line(3))
+        values = set(results.values_only())
+        assert ("A", "B", "C", "D") in values
+        assert ("B", "C", "D", "E") not in values
+
+
+class TestFlights:
+    def test_scale(self):
+        cfg = flights.FlightsConfig(n_airports=120, n_flights=300)
+        g = flights.generate_graph(cfg)
+        assert g.edge_count == 300
+        assert g.vertex_count <= 120
+
+    def test_durations_in_bounds(self):
+        cfg = flights.FlightsConfig(n_airports=120, n_flights=200)
+        g = flights.generate_graph(cfg)
+        for _, _, ivl in g.edges:
+            assert 0 <= ivl.lo <= ivl.hi <= cfg.day_minutes
+
+    def test_hub_concentration(self):
+        cfg = flights.FlightsConfig(n_airports=200, n_flights=400, hub_bias=0.8)
+        g = flights.generate_graph(cfg)
+        degree = {}
+        for u, v, _ in g.edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        top = sorted(degree.values(), reverse=True)[: cfg.n_hubs]
+        assert sum(top) > 0.3 * 2 * g.edge_count
+
+
+class TestTPCBiH:
+    def test_schema(self):
+        db = tpc_bih.generate_database(
+            tpc_bih.TPCBiHConfig(n_customers=50, n_suppliers=10, n_parts=20)
+        )
+        assert db["lineitem"].attrs == ("OK", "PK", "SK")
+        assert db["orders"].attrs == ("OK", "CK", "ST")
+
+    def test_low_customer_order_multiplicity(self):
+        cfg = tpc_bih.TPCBiHConfig(n_customers=200, n_suppliers=20, n_parts=40)
+        db = tpc_bih.generate_database(cfg)
+        distinct_orders = db["orders"].key_cardinality(("OK",))
+        assert distinct_orders / cfg.n_customers < 2.0
+
+    def test_orders_are_version_histories(self):
+        cfg = tpc_bih.TPCBiHConfig(n_customers=60, n_suppliers=20, n_parts=40)
+        db = tpc_bih.generate_database(cfg)
+        versions = len(db["orders"]) / db["orders"].key_cardinality(("OK",))
+        assert versions >= cfg.order_versions * 0.8
+
+    def test_partsupp_lineitem_skew(self):
+        cfg = tpc_bih.TPCBiHConfig(n_customers=300, n_suppliers=20, n_parts=50)
+        db = tpc_bih.generate_database(cfg)
+        groups = db["lineitem"].group_by(("PK", "SK"))
+        top = max(len(rows) for rows in groups.values())
+        avg = len(db["lineitem"]) / len(groups)
+        assert top > 3 * avg  # popular pairs dominate
+
+    @pytest.mark.parametrize("qname", list(tpc_bih.ALL_QUERIES))
+    def test_queries_valid_and_runnable(self, qname):
+        query = tpc_bih.ALL_QUERIES[qname]()
+        cfg = tpc_bih.TPCBiHConfig(n_customers=60, n_suppliers=10, n_parts=15)
+        db = tpc_bih.query_database(query, cfg)
+        query.validate(db)
+        out_auto = temporal_join(query, db)
+        out_naive = temporal_join(query, db, algorithm="naive")
+        assert out_auto.normalized() == out_naive.normalized()
+
+    def test_queries_are_acyclic_non_hierarchical(self):
+        for qf in tpc_bih.ALL_QUERIES.values():
+            q = qf()
+            assert q.is_acyclic
+            assert not q.is_r_hierarchical
+
+
+class TestTPCE:
+    def test_holdings_scale(self):
+        cfg = tpce.TPCEConfig(n_customers=50, n_securities=10, n_holdings=200)
+        rel = tpce.generate_holdings(cfg)
+        assert len(rel) == 200
+
+    def test_star_query_is_hierarchical(self):
+        assert tpce.star_query(5).is_hierarchical
+
+    def test_star_database_binds_copies(self):
+        rel = tpce.generate_holdings(
+            tpce.TPCEConfig(n_customers=30, n_securities=8, n_holdings=80)
+        )
+        db = tpce.star_database(rel, 3)
+        assert set(db) == {"R1", "R2", "R3"}
+        assert db["R2"].attrs == ("C2", "S")
+
+    def test_aggregation(self):
+        rel = tpce.generate_holdings(
+            tpce.TPCEConfig(n_customers=25, n_securities=6, n_holdings=70, seed=1)
+        )
+        q = tpce.star_query(2)
+        results = temporal_join(q, tpce.star_database(rel, 2))
+        groups = tpce.customers_with_common_securities(
+            results, min_count=1, n_customers=2
+        )
+        for customers, count in groups:
+            assert len(customers) == 2
+            assert count >= 1
+        # Counts sorted descending.
+        counts = [c for _, c in groups]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestLDBC:
+    def test_relation_shape(self):
+        rel = ldbc.knows_relation(ldbc.LDBCConfig(n_persons=40, n_knows=100))
+        assert rel.attrs == ("p1", "p2")
+        assert len(rel) == 200  # symmetric
+
+    def test_long_intervals_dominate(self):
+        cfg = ldbc.LDBCConfig(n_persons=60, n_knows=150, delete_fraction=0.1)
+        g = ldbc.generate_graph(cfg)
+        persistent = sum(1 for _, _, ivl in g.edges if ivl.hi == cfg.sim_span)
+        assert persistent > 0.6 * g.edge_count
+
+    def test_line_query_runnable(self):
+        rel = ldbc.knows_relation(ldbc.LDBCConfig(n_persons=30, n_knows=60))
+        q = ldbc.line_query(3)
+        db = self_join_database(q, rel)
+        out = temporal_join(q, db, tau=11)
+        ref = temporal_join(q, db, tau=11, algorithm="naive")
+        assert out.normalized() == ref.normalized()

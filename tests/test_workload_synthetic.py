@@ -1,0 +1,82 @@
+"""Tests for the synthetic workload generator (Section 6.1)."""
+
+import pytest
+
+from repro.algorithms.binary import binary_temporal_join
+from repro.algorithms.registry import temporal_join
+from repro.core.errors import QueryError
+from repro.core.query import JoinQuery
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    backbone_durations,
+    expected_result_count,
+    generate,
+)
+
+CFG = SyntheticConfig(n_dangling=60, n_results=25, seed=3)
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        q = JoinQuery.line(4)
+        a = generate(q, CFG)
+        b = generate(q, CFG)
+        for name in q.edge_names:
+            assert a[name].rows == b[name].rows
+
+    def test_rejects_non_binary_queries(self):
+        with pytest.raises(QueryError):
+            generate(JoinQuery({"R": ("a", "b", "c")}), CFG)
+
+    @pytest.mark.parametrize(
+        "query", [JoinQuery.line(4), JoinQuery.star(4), JoinQuery.cycle(4)]
+    )
+    def test_final_results_are_exactly_the_backbone(self, query):
+        db = generate(query, CFG)
+        for tau in [0, 100, 500]:
+            out = temporal_join(query, db, tau=tau)
+            assert len(out) == expected_result_count(CFG, tau)
+
+    def test_results_vanish_at_max_durability(self):
+        q = JoinQuery.line(4)
+        db = generate(q, CFG)
+        assert len(temporal_join(q, db, tau=CFG.max_durability)) == 0
+
+    def test_dangling_mass_creates_large_pairwise_joins(self):
+        q = JoinQuery.line(4)
+        db = generate(q, CFG)
+        first = binary_temporal_join(db["R1"], db["R2"])
+        # The pairwise intermediate must dwarf the final result count.
+        assert len(first) > 10 * expected_result_count(CFG, 0)
+
+    def test_dangling_prefixes_survive_until_last_join(self):
+        # Every (n-1)-prefix of the dangling mass stays temporally alive —
+        # the property that makes BASELINE's intermediates multiply — and
+        # only the final join kills it.
+        q = JoinQuery.line(4)
+        db = generate(q, CFG)
+        two = binary_temporal_join(db["R1"], db["R2"])
+        three = binary_temporal_join(two, db["R3"])
+        four = binary_temporal_join(three, db["R4"])
+        backbone = expected_result_count(CFG, 0)
+        assert len(three) > len(two)  # multiplicative growth
+        assert len(four) == backbone  # full combinations: backbone only
+
+    def test_input_sizes_roughly_balanced(self):
+        q = JoinQuery.cycle(4)
+        db = generate(q, CFG)
+        sizes = [len(db[n]) for n in q.edge_names]
+        assert max(sizes) <= 3 * min(sizes)
+
+
+class TestBackbone:
+    def test_durations_decay(self):
+        durs = backbone_durations(CFG)
+        assert durs == sorted(durs, reverse=True)
+        assert all(0 < d < CFG.max_durability for d in durs)
+
+    def test_expected_count_monotone(self):
+        counts = [expected_result_count(CFG, tau) for tau in range(0, 1001, 100)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] == CFG.n_results
+        assert counts[-1] == 0

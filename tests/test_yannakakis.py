@@ -1,0 +1,107 @@
+"""Tests for the Yannakakis acyclic join algorithm."""
+
+import pytest
+
+from repro.algorithms.naive import naive_join, naive_nontemporal_join
+from repro.core.errors import QueryError
+from repro.core.hypergraph import Hypergraph
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.nontemporal.yannakakis import yannakakis
+
+from conftest import random_database
+
+
+class TestBasics:
+    def test_rejects_cyclic(self):
+        q = JoinQuery.triangle()
+        db = {
+            n: TemporalRelation(n, q.edge(n), []) for n in q.edge_names
+        }
+        with pytest.raises(QueryError):
+            yannakakis(q.hypergraph, db)
+
+    def test_line2_values_and_intervals(self):
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 10))]),
+            "R2": TemporalRelation(
+                "R2", ("x2", "x3"), [((2, 3), (5, 20)), ((2, 4), (50, 60))]
+            ),
+        }
+        out = yannakakis(JoinQuery.line(2).hypergraph, db)
+        rows = {v: iv for v, iv in out}
+        assert rows == {(1, 2, 3): Interval(5, 10)}
+
+    def test_interval_intersection_disabled(self):
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 10))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 4), (50, 60))]),
+        }
+        out = yannakakis(
+            JoinQuery.line(2).hypergraph, db, intersect_intervals=False
+        )
+        assert out.values_only() == [(1, 2, 4)]
+
+    def test_attr_order_respected(self):
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 10))]),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (0, 10))]),
+        }
+        out = yannakakis(
+            JoinQuery.line(2).hypergraph, db, attr_order=("x3", "x1", "x2")
+        )
+        assert out.attrs == ("x3", "x1", "x2")
+        assert out.values_only() == [(3, 1, 2)]
+
+    def test_dangling_tuples_removed(self):
+        # The full reducer must prevent dead-end exploration.
+        db = {
+            "R1": TemporalRelation(
+                "R1", ("x1", "x2"), [((i, i + 100), (0, 10)) for i in range(50)]
+            ),
+            "R2": TemporalRelation("R2", ("x2", "x3"), [((100, 7), (0, 10))]),
+        }
+        out = yannakakis(JoinQuery.line(2).hypergraph, db)
+        assert out.values_only() == [(0, 100, 7)]
+
+    def test_empty_relation(self):
+        db = {
+            "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 10))]),
+            "R2": TemporalRelation("R2", ("x2", "x3")),
+        }
+        assert len(yannakakis(JoinQuery.line(2).hypergraph, db)) == 0
+
+    def test_cartesian_components(self):
+        hg = Hypergraph({"R1": ("a",), "R2": ("b",)})
+        db = {
+            "R1": TemporalRelation("R1", ("a",), [((1,), (0, 10)), ((2,), (3, 8))]),
+            "R2": TemporalRelation("R2", ("b",), [((9,), (5, 30))]),
+        }
+        out = yannakakis(hg, db)
+        rows = {v: iv for v, iv in out}
+        assert rows == {(1, 9): Interval(5, 10), (2, 9): Interval(5, 8)}
+
+
+class TestRandomizedAgreement:
+    @pytest.mark.parametrize(
+        "query",
+        [JoinQuery.line(3), JoinQuery.line(5), JoinQuery.star(4), JoinQuery.hier()],
+    )
+    def test_matches_naive_temporal(self, query, rng):
+        for _ in range(4):
+            db = random_database(query, rng, n=10, domain=3)
+            got = yannakakis(query.hypergraph, db, attr_order=query.attrs)
+            want = naive_join(query, db)
+            assert got.normalized() == want.normalized()
+
+    def test_matches_naive_nontemporal(self, rng):
+        query = JoinQuery.line(4)
+        for _ in range(3):
+            db = random_database(query, rng, n=10, domain=3)
+            got = yannakakis(
+                query.hypergraph, db, attr_order=query.attrs,
+                intersect_intervals=False,
+            )
+            want = naive_nontemporal_join(query, db)
+            assert sorted(got.values_only()) == sorted(want)
