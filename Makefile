@@ -1,12 +1,19 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test lint bench examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

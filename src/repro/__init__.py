@@ -21,10 +21,12 @@ Quickstart
 """
 
 from .algorithms import (
+    ExplainAnalyze,
     OnlineTemporalJoin,
     available_algorithms,
     baseline_join,
     binary_temporal_join,
+    explain_analyze,
     hybrid_interval_join,
     hybrid_join,
     joinfirst_join,
@@ -49,12 +51,16 @@ from .core import (
 from .core.advisor import Advice, advise
 from .core.timeline import Timeline, busiest_instant, result_timeline
 from .core.planner import Plan, plan
+from .obs import ExecutionStats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Advice",
     "advise",
+    "ExecutionStats",
+    "ExplainAnalyze",
+    "explain_analyze",
     "Interval",
     "IntervalSet",
     "JoinQuery",

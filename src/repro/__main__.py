@@ -11,11 +11,17 @@ from __future__ import annotations
 import argparse
 import time
 
-from .algorithms.registry import available_algorithms, describe_algorithms, get_algorithm
+from .algorithms.registry import (
+    _check_tau,
+    available_algorithms,
+    describe_algorithms,
+    get_algorithm,
+)
 from .core.advisor import advise
 from .core.errors import ReproError
 from .core.planner import plan
 from .core.query import JoinQuery
+from .obs import ExecutionStats
 from .workloads.synthetic import SyntheticConfig, generate
 
 FAMILIES = {
@@ -51,6 +57,9 @@ def main(argv=None) -> int:
                         help="synthetic backbone result count")
     parser.add_argument("--algorithm", default=None,
                         help="run only this algorithm (default: all)")
+    parser.add_argument("--stats", action="store_true",
+                        help="collect execution counters (EXPLAIN ANALYZE "
+                             "style) and print them per algorithm")
     parser.add_argument("--list", action="store_true",
                         help="describe the registered algorithms and exit")
     args = parser.parse_args(argv)
@@ -58,6 +67,11 @@ def main(argv=None) -> int:
     if args.list:
         print(describe_algorithms())
         return 0
+
+    try:
+        _check_tau(args.tau)
+    except ReproError as exc:
+        parser.error(str(exc))
 
     if args.parse is not None:
         query = JoinQuery.parse(args.parse)
@@ -93,6 +107,7 @@ def main(argv=None) -> int:
     print("Execution")
     print("-" * 40)
     reference = None
+    profiles = []
     for name in algorithms:
         fn = get_algorithm(name)
         start = time.perf_counter()
@@ -108,6 +123,19 @@ def main(argv=None) -> int:
         elif result.normalized() != reference:
             status = "  !! RESULT MISMATCH"
         print(f"{name:>16}: {len(result):>8} results in {elapsed * 1e3:9.1f} ms{status}")
+        if args.stats:
+            stats = ExecutionStats()
+            fn(query, database, tau=args.tau, stats=stats)
+            profiles.append((name, stats))
+
+    if profiles:
+        print()
+        print("Execution counters (separate instrumented run per algorithm)")
+        print("-" * 40)
+        for name, stats in profiles:
+            print(f"[{name}]")
+            rendered = stats.render()
+            print("\n".join("  " + line for line in rendered.splitlines()))
     return 0
 
 

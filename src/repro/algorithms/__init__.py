@@ -14,16 +14,24 @@ from .interval_join import forward_scan_join, index_nested_join, interval_join, 
 from .joinfirst import joinfirst_join
 from .naive import naive_join, naive_nontemporal_join
 from .online import OnlineTemporalJoin, arrivals_from_database, stream_temporal_join
-from .registry import available_algorithms, get_algorithm, temporal_join
+from .registry import (
+    ExplainAnalyze,
+    available_algorithms,
+    explain_analyze,
+    get_algorithm,
+    temporal_join,
+)
 from .timefirst import sweep, timefirst_join
 from .topk import durability_histogram, top_k_durable
 
 __all__ = [
+    "ExplainAnalyze",
     "available_algorithms",
     "baseline_join",
     "binary_temporal_join",
     "choose_join_order",
     "counterpart_instance",
+    "explain_analyze",
     "forward_scan_join",
     "get_algorithm",
     "hybrid_interval_join",

@@ -16,6 +16,7 @@ how much the order search buys.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.durability import shrink_database
@@ -24,6 +25,7 @@ from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
 from ..nontemporal.hash_join import estimate_join_size
+from ..obs import ExecutionStats
 from .binary import binary_temporal_join
 
 _MAX_EXHAUSTIVE_EDGES = 7
@@ -135,6 +137,7 @@ def baseline_join(
     order: Optional[Sequence[str]] = None,
     track_intermediates: Optional[List[int]] = None,
     binary_strategy: str = "forward-scan",
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
     """Pairwise BASELINE evaluation of a τ-durable temporal join.
 
@@ -144,17 +147,32 @@ def baseline_join(
     used by every binary join (the paper's BASELINE uses the forward
     scan, "experimentally verified as the most efficient"; the ablation
     bench measures the other families).
+
+    ``stats`` opts into telemetry: ``bin.joins`` and the
+    ``bin.intermediate_rows`` distribution — each binary join's
+    materialized cardinality, the Figure 8 blow-up as a number — plus
+    ``phase.order_search`` / ``phase.joins`` timers and ``results``.
     """
     query.validate(database)
     db = shrink_database(database, tau)
-    join_order = list(order) if order is not None else choose_join_order(query, db)
+    if order is not None:
+        join_order = list(order)
+    elif stats is None:
+        join_order = choose_join_order(query, db)
+    else:
+        with stats.timer("phase.order_search"):
+            join_order = choose_join_order(query, db)
     if sorted(join_order) != sorted(query.edge_names):
         raise ValueError(
             f"join order {join_order} must be a permutation of {query.edge_names}"
         )
+    joins_start = time.perf_counter()
     current = db[join_order[0]]
     for name in join_order[1:]:
         current = binary_temporal_join(current, db[name], strategy=binary_strategy)
+        if stats is not None:
+            stats.incr("bin.joins")
+            stats.observe("bin.intermediate_rows", len(current))
         if track_intermediates is not None:
             track_intermediates.append(len(current))
         if len(current) == 0:
@@ -163,4 +181,7 @@ def baseline_join(
     perm = current.positions(query.attrs) if len(current) else ()
     for values, interval in current:
         out.append(tuple(values[p] for p in perm), interval)
+    if stats is not None:
+        stats.add_time("phase.joins", time.perf_counter() - joins_start)
+        stats.incr("results", len(out))
     return out.expand_intervals(tau / 2 if tau else 0)

@@ -28,18 +28,27 @@ from ..core.result import JoinResultSet
 from ..nontemporal.generic_join import generic_join_with_order
 from ..nontemporal.ghd import GHD, fhtw_ghd, trivial_ghd
 from ..nontemporal.yannakakis import yannakakis
+from ..obs import ExecutionStats
 
 Values = Tuple[object, ...]
 
 
 class GenericGHDState:
-    """Sweep state implementing Theorem 9 / Corollary 10."""
+    """Sweep state implementing Theorem 9 / Corollary 10.
+
+    With a ``stats`` tracer attached, reports ``ghd.enumerations``
+    (expirations that survived the semijoin restriction),
+    ``ghd.restrict_pruned`` (expirations proven resultless before any
+    materialization), ``ghd.bag_rows`` (per-endpoint bag materialization
+    sizes, as an observe distribution) and ``ghd.yannakakis_passes``.
+    """
 
     def __init__(
         self,
         query: JoinQuery,
         database: Optional[Dict[str, TemporalRelation]] = None,
         ghd: Optional[GHD] = None,
+        stats: Optional[ExecutionStats] = None,
     ) -> None:
         self.query = query
         hg = query.hypergraph
@@ -76,6 +85,7 @@ class GenericGHDState:
         # Static per-bag plans.
         self._bag_plans = self._build_bag_plans()
         self._bag_hg = self.ghd.bag_hypergraph()
+        self._stats = stats
 
     # ------------------------------------------------------------------
     # Plans
@@ -121,12 +131,19 @@ class GenericGHDState:
         interval: Interval,
         out: JoinResultSet,
     ) -> None:
+        st = self._stats
         restricted = self._restrict(relation, values)
         if restricted is None:
+            if st is not None:
+                st.incr("ghd.restrict_pruned")
             return
+        if st is not None:
+            st.incr("ghd.enumerations")
         bag_db: Dict[str, TemporalRelation] = {}
         for bag, lam, sub_hg, projections in self._bag_plans:
             rel = self._materialize_bag(sub_hg, projections, restricted)
+            if st is not None:
+                st.observe("ghd.bag_rows", len(rel))
             if len(rel) == 0:
                 return
             bag_db[bag] = rel
@@ -134,6 +151,8 @@ class GenericGHDState:
             self._bag_hg, bag_db, attr_order=self.query.attrs,
             intersect_intervals=True,
         )
+        if st is not None:
+            st.incr("ghd.yannakakis_passes")
         out.extend(results.rows)
 
     # ------------------------------------------------------------------

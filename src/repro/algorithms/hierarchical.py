@@ -35,6 +35,7 @@ from ..core.errors import QueryError
 from ..core.interval import Interval
 from ..core.query import JoinQuery
 from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
 
 Values = Tuple[object, ...]
 Fragment = Tuple[Dict[str, object], Interval]
@@ -60,9 +61,18 @@ class _NodeState:
 
 
 class HierarchicalState:
-    """Sweep state implementing Theorem 6 for hierarchical queries."""
+    """Sweep state implementing Theorem 6 for hierarchical queries.
 
-    def __init__(self, query: JoinQuery) -> None:
+    With a ``stats`` tracer attached the state reports ``hier.inserts`` /
+    ``hier.deletes`` (leaf ``X_u`` set operations), ``hier.support_updates``
+    (support-count transitions walked during upward propagation) and
+    ``hier.report_fragments`` (fragments returned by Algorithm 3). The
+    ``stats=None`` path adds only a predicate on a local per operation.
+    """
+
+    def __init__(
+        self, query: JoinQuery, stats: Optional[ExecutionStats] = None
+    ) -> None:
         if not query.is_hierarchical:
             raise QueryError(
                 f"HierarchicalState requires a hierarchical query, got {query!r}; "
@@ -91,6 +101,7 @@ class HierarchicalState:
             pos = {a: i for i, a in enumerate(eattrs)}
             self._perm[name] = tuple(pos[a] for a in path)
         self._out_attrs = query.attrs
+        self._stats = stats
 
     # ------------------------------------------------------------------
     # INSERT / DELETE with upward propagation
@@ -104,6 +115,8 @@ class HierarchicalState:
         pv = self._path_values(relation, values)
         gkey = pv[: self._parent_path_len[leaf]]
         groups = self._state[leaf].groups
+        if self._stats is not None:
+            self._stats.incr("hier.inserts")
         bucket = groups.get(gkey)
         if bucket is None:
             bucket = {pv: interval}
@@ -126,6 +139,8 @@ class HierarchicalState:
         pv = self._path_values(relation, values)
         gkey = pv[: self._parent_path_len[leaf]]
         groups = self._state[leaf].groups
+        if self._stats is not None:
+            self._stats.incr("hier.deletes")
         bucket = groups[gkey]
         del bucket[pv]
         if not bucket:
@@ -134,7 +149,10 @@ class HierarchicalState:
 
     def _signal_nonempty(self, node_id: Optional[int], key: Values) -> None:
         """A child's group ``key`` (a ``V_node`` tuple) became non-empty."""
+        st = self._stats
         while node_id is not None:
+            if st is not None:
+                st.incr("hier.support_updates")
             state = self._state[node_id]
             count = state.support.get(key, 0) + 1
             state.support[key] = count
@@ -155,7 +173,10 @@ class HierarchicalState:
 
     def _signal_empty(self, node_id: Optional[int], key: Values) -> None:
         """A child's group ``key`` became empty."""
+        st = self._stats
         while node_id is not None:
+            if st is not None:
+                st.incr("hier.support_updates")
             state = self._state[node_id]
             count = state.support[key] - 1
             was_full = state.support[key] == self._nchildren[node_id]
@@ -200,6 +221,8 @@ class HierarchicalState:
         for attr, value in zip(leaf_path, pv):
             binding[attr] = value
         fragments = self._report(self.tree.root.node_id, binding)
+        if self._stats is not None:
+            self._stats.incr("hier.report_fragments", len(fragments))
         attrs = self._out_attrs
         for fragment, result_interval in fragments:
             row = tuple(

@@ -38,6 +38,7 @@ from ..core.query import JoinQuery
 from ..core.result import JoinResultSet
 from ..datastructures.heap import AddressableHeap
 from ..datastructures.sorted_list import SortedList
+from ..obs import ExecutionStats
 
 Values = Tuple[object, ...]
 Fragment = Tuple[Dict[str, object], Interval]
@@ -77,9 +78,17 @@ def _group_run(members: SortedList, prefix: Values) -> List:
 
 
 class ComparisonHierarchicalState:
-    """Sweep state for Theorem 6 in the comparison model (O(log N) steps)."""
+    """Sweep state for Theorem 6 in the comparison model (O(log N) steps).
 
-    def __init__(self, query: JoinQuery) -> None:
+    With a ``stats`` tracer attached, reports ``cm.heap_pushes`` /
+    ``cm.heap_removes`` (the paper's per-group t⁺ heaps),
+    ``cm.support_updates`` (sorted-multiset propagation steps) and
+    ``cm.report_fragments``.
+    """
+
+    def __init__(
+        self, query: JoinQuery, stats: Optional[ExecutionStats] = None
+    ) -> None:
         if not query.is_hierarchical:
             raise QueryError(
                 f"ComparisonHierarchicalState requires a hierarchical query, "
@@ -105,6 +114,7 @@ class ComparisonHierarchicalState:
             )
         self._out_attrs = query.attrs
         self._seq = 0
+        self._stats = stats
 
     # ------------------------------------------------------------------
     def _path_values(self, relation: str, values: Values) -> Values:
@@ -123,6 +133,8 @@ class ComparisonHierarchicalState:
             state.heaps[gkey] = heap
         heap.push((interval.hi, self._seq), pv)
         self._seq += 1
+        if self._stats is not None:
+            self._stats.incr("cm.heap_pushes")
         if was_empty:
             self._signal_nonempty(self.tree.nodes[leaf].parent, gkey)
 
@@ -134,6 +146,8 @@ class ComparisonHierarchicalState:
         state.members.remove(pv + (interval,))
         heap = state.heaps[gkey]
         heap.remove(pv)
+        if self._stats is not None:
+            self._stats.incr("cm.heap_removes")
         if not heap:
             del state.heaps[gkey]
             self._signal_empty(self.tree.nodes[leaf].parent, gkey)
@@ -168,7 +182,10 @@ class ComparisonHierarchicalState:
         )
 
     def _signal_nonempty(self, node_id: Optional[int], key: Values) -> None:
+        st = self._stats
         while node_id is not None:
+            if st is not None:
+                st.incr("cm.support_updates")
             state = self._state[node_id]
             state.support.add(key)
             if state.support.count_range(key, key) != self._nchildren[node_id]:
@@ -182,7 +199,10 @@ class ComparisonHierarchicalState:
             key = gkey
 
     def _signal_empty(self, node_id: Optional[int], key: Values) -> None:
+        st = self._stats
         while node_id is not None:
+            if st is not None:
+                st.incr("cm.support_updates")
             state = self._state[node_id]
             was_full = (
                 state.support.count_range(key, key) == self._nchildren[node_id]
@@ -216,9 +236,10 @@ class ComparisonHierarchicalState:
         binding: Dict[str, object] = dict(
             zip(self.tree.nodes[leaf].path_attrs, pv)
         )
-        for fragment, result_interval in self._report(
-            self.tree.root.node_id, binding
-        ):
+        fragments = self._report(self.tree.root.node_id, binding)
+        if self._stats is not None:
+            self._stats.incr("cm.report_fragments", len(fragments))
+        for fragment, result_interval in fragments:
             row = tuple(
                 fragment[a] if a in fragment else binding[a]
                 for a in self._out_attrs

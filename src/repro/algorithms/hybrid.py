@@ -24,6 +24,7 @@ from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
 from ..nontemporal.generic_join import generic_join_with_order
 from ..nontemporal.ghd import GHD, fhtw_ghd, hhtw_ghd
+from ..obs import ExecutionStats
 from .timefirst import sweep
 
 Values = Tuple[object, ...]
@@ -94,6 +95,7 @@ def hybrid_join(
     ghd: Optional[GHD] = None,
     mode: str = "auto",
     track_intermediates: Optional[List[int]] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
     """Evaluate a τ-durable temporal join with HYBRID (Theorem 12).
 
@@ -108,6 +110,11 @@ def hybrid_join(
     track_intermediates:
         Receives the materialized size of every bag, for the memory
         benches.
+    stats:
+        Opt-in telemetry (see :mod:`repro.obs`): ``hybrid.bags``,
+        ``hybrid.bag_rows`` (per-bag materialized sizes), the
+        ``phase.materialize`` timer, plus the sweep counters of the
+        time-first half over the derived bag query.
     """
     query.validate(database)
     hg = query.hypergraph
@@ -119,15 +126,25 @@ def hybrid_join(
         pass
     db = shrink_database(database, tau)
     bag_db: Dict[str, TemporalRelation] = {}
-    for bag, lam in ghd.bags.items():
-        rel = materialize_bag(hg, db, lam, bag_name=bag)
-        if track_intermediates is not None:
-            track_intermediates.append(len(rel))
-        bag_db[bag] = rel
+    if stats is None:
+        for bag, lam in ghd.bags.items():
+            rel = materialize_bag(hg, db, lam, bag_name=bag)
+            if track_intermediates is not None:
+                track_intermediates.append(len(rel))
+            bag_db[bag] = rel
+    else:
+        with stats.timer("phase.materialize"):
+            for bag, lam in ghd.bags.items():
+                rel = materialize_bag(hg, db, lam, bag_name=bag)
+                stats.incr("hybrid.bags")
+                stats.observe("hybrid.bag_rows", len(rel))
+                if track_intermediates is not None:
+                    track_intermediates.append(len(rel))
+                bag_db[bag] = rel
     bag_edges = {bag: bag_db[bag].attrs for bag in ghd.bags}
     bag_query = JoinQuery(bag_edges, attr_order=query.attrs)
-    state = _bag_sweep_state(bag_query, bag_db)
-    result = sweep(bag_query, bag_db, state)
+    state = _bag_sweep_state(bag_query, bag_db, stats=stats)
+    result = sweep(bag_query, bag_db, state, stats=stats)
     return result.expand_intervals(tau / 2 if tau else 0)
 
 
@@ -144,10 +161,14 @@ def select_hybrid_ghd(hg: Hypergraph, mode: str = "auto") -> GHD:
     return h_ghd if h_width <= f_width + 1 else f_ghd
 
 
-def _bag_sweep_state(bag_query: JoinQuery, bag_db: Dict[str, TemporalRelation]):
+def _bag_sweep_state(
+    bag_query: JoinQuery,
+    bag_db: Dict[str, TemporalRelation],
+    stats: Optional[ExecutionStats] = None,
+):
     from .generic_state import GenericGHDState
     from .hierarchical import HierarchicalState
 
     if bag_query.is_hierarchical:
-        return HierarchicalState(bag_query)
-    return GenericGHDState(bag_query, bag_db)
+        return HierarchicalState(bag_query, stats=stats)
+    return GenericGHDState(bag_query, bag_db, stats=stats)

@@ -21,6 +21,7 @@ This module implements all three residual strategies:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.durability import shrink_database
@@ -32,6 +33,7 @@ from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
 from ..nontemporal.generic_join import generic_join_with_order
 from ..nontemporal.ghd import GuardedPartition, find_guarded_partition
+from ..obs import ExecutionStats
 from .interval_join import forward_scan_join
 
 Values = Tuple[object, ...]
@@ -43,6 +45,7 @@ def hybrid_interval_join(
     tau: Number = 0,
     partition: Optional[GuardedPartition] = None,
     residual_strategy: str = "auto",
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
     """Evaluate a τ-durable temporal join with HybridGuarded.
 
@@ -51,6 +54,14 @@ def hybrid_interval_join(
     sweep for more, recursive TIMEFIRST otherwise), or ``"sweep"`` to
     force the recursive TIMEFIRST everywhere — the ablation knob that
     isolates the §4.2 interval-join improvement.
+
+    ``stats`` opts into telemetry: ``hi.core_tuples`` (|L| from the core
+    GenericJoin), ``hi.core_pruned`` (core tuples that died on interval
+    or group checks), per-residual-strategy counters
+    (``hi.interval_joins`` / ``hi.product_sweeps`` / ``hi.recursions``),
+    ``ij.scan`` (interval-join input scan lengths) and ``ij.pairs``
+    (overlapping pairs reported), plus ``phase.core_join`` /
+    ``phase.residuals`` timers and the final ``results`` count.
 
     Raises :class:`PlanError` when the query admits no guarded partition
     (e.g. cycle joins) — the planner falls back to HYBRID there.
@@ -89,7 +100,14 @@ def hybrid_interval_join(
         sub = TemporalRelation(name, restricted, check_distinct=False)
         sub._rows = list(rows.items())
         qj_db[name] = sub
-    core_tuples, j_order = generic_join_with_order(Hypergraph(qj_edges), qj_db)
+    if stats is None:
+        core_tuples, j_order = generic_join_with_order(Hypergraph(qj_edges), qj_db)
+    else:
+        with stats.timer("phase.core_join"):
+            core_tuples, j_order = generic_join_with_order(
+                Hypergraph(qj_edges), qj_db
+            )
+        stats.incr("hi.core_tuples", len(core_tuples))
     j_pos = {a: i for i, a in enumerate(j_order)}
 
     # Interval lookup for core edges (fully inside J): line 4.
@@ -126,6 +144,7 @@ def hybrid_interval_join(
     # ------------------------------------------------------------------
     # Lines 3-8: per core tuple, solve the residual join.
     # ------------------------------------------------------------------
+    residuals_start = time.perf_counter()
     for a in core_tuples:
         core_interval = Interval.always()
         dead = False
@@ -135,40 +154,52 @@ def hybrid_interval_join(
             if core_interval is None:
                 dead = True
                 break
+        if not dead:
+            groups_for_a: List[Tuple[str, Tuple[str, ...], List[Tuple[Values, Interval]]]] = []
+            for name, i_part, probe, groups in residual_plans:
+                rows = groups.get(tuple(a[p] for p in probe))
+                if not rows:
+                    dead = True
+                    break
+                # Clip to the core interval, pruning rows that cannot join.
+                clipped = []
+                for values, ivl in rows:
+                    joint = ivl.intersect(core_interval)
+                    if joint is not None:
+                        clipped.append((values, joint))
+                if not clipped:
+                    dead = True
+                    break
+                groups_for_a.append((name, i_part, clipped))
         if dead:
-            continue
-        groups_for_a: List[Tuple[str, Tuple[str, ...], List[Tuple[Values, Interval]]]] = []
-        for name, i_part, probe, groups in residual_plans:
-            rows = groups.get(tuple(a[p] for p in probe))
-            if not rows:
-                dead = True
-                break
-            # Clip to the core interval, pruning rows that cannot join.
-            clipped = []
-            for values, ivl in rows:
-                joint = ivl.intersect(core_interval)
-                if joint is not None:
-                    clipped.append((values, joint))
-            if not clipped:
-                dead = True
-                break
-            groups_for_a.append((name, i_part, clipped))
-        if dead:
+            if stats is not None:
+                stats.incr("hi.core_pruned")
             continue
 
         if residual_strategy == "sweep":
+            if stats is not None:
+                stats.incr("hi.recursions")
             _emit_residual_timefirst(
                 query, hg, j_order, a, groups_for_a, i_attrs, out
             )
         elif product and len(groups_for_a) == 2:
-            _emit_interval_join(query, j_order, a, groups_for_a, out)
+            if stats is not None:
+                stats.incr("hi.interval_joins")
+            _emit_interval_join(query, j_order, a, groups_for_a, out, stats=stats)
         elif product:
+            if stats is not None:
+                stats.incr("hi.product_sweeps")
             _emit_product_sweep(query, j_order, a, groups_for_a, out)
         else:
+            if stats is not None:
+                stats.incr("hi.recursions")
             _emit_residual_timefirst(
                 query, hg, j_order, a, groups_for_a, i_attrs, out
             )
 
+    if stats is not None:
+        stats.add_time("phase.residuals", time.perf_counter() - residuals_start)
+        stats.incr("results", len(out))
     return out.expand_intervals(tau / 2 if tau else 0)
 
 
@@ -193,10 +224,14 @@ def _emit_interval_join(
     core: Values,
     groups: List[Tuple[str, Tuple[str, ...], List[Tuple[Values, Interval]]]],
     out: JoinResultSet,
+    stats: Optional[ExecutionStats] = None,
 ) -> None:
     """Two disjoint residual groups: a single forward-scan interval join."""
     (_, left_attrs, left_rows), (_, right_attrs, right_rows) = groups
     pairs = forward_scan_join(left_rows, right_rows)
+    if stats is not None:
+        stats.observe("ij.scan", len(left_rows) + len(right_rows))
+        stats.observe("ij.pairs", len(pairs))
     for lvalues, rvalues, interval in pairs:
         binding = dict(zip(left_attrs, lvalues))
         binding.update(zip(right_attrs, rvalues))

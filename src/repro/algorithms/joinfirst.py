@@ -11,7 +11,8 @@ Figure 10 shows and our benches reproduce.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+import time
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..core.durability import shrink_database
 from ..core.interval import Interval, Number
@@ -20,6 +21,7 @@ from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
 from ..nontemporal.generic_join import generic_join_with_order
 from ..nontemporal.hash_join import lookup_index
+from ..obs import ExecutionStats
 
 Values = Tuple[object, ...]
 
@@ -28,11 +30,24 @@ def joinfirst_join(
     query: JoinQuery,
     database: Mapping[str, TemporalRelation],
     tau: Number = 0,
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
-    """Evaluate a τ-durable temporal join with the join-first strategy."""
+    """Evaluate a τ-durable temporal join with the join-first strategy.
+
+    ``stats`` opts into telemetry: ``jf.matches`` (the non-temporal
+    GenericJoin result size — the quantity that makes or breaks this
+    strategy), ``jf.survivors`` (matches whose valid intervals actually
+    intersect, == ``results``), and the ``phase.nontemporal_join`` /
+    ``phase.filter`` timers.
+    """
     query.validate(database)
     db = shrink_database(database, tau)
-    matches, order = generic_join_with_order(query.hypergraph, db)
+    if stats is None:
+        matches, order = generic_join_with_order(query.hypergraph, db)
+    else:
+        with stats.timer("phase.nontemporal_join"):
+            matches, order = generic_join_with_order(query.hypergraph, db)
+        stats.incr("jf.matches", len(matches))
     order_pos = {a: i for i, a in enumerate(order)}
 
     # Interval lookup per relation, keyed on the relation's values in the
@@ -50,6 +65,7 @@ def joinfirst_join(
 
     out_perm = tuple(order_pos[a] for a in query.attrs)
     out = JoinResultSet(query.attrs)
+    filter_start = time.perf_counter()
     for match in matches:
         interval = Interval.always()
         alive = True
@@ -61,5 +77,9 @@ def joinfirst_join(
                 break
         if alive:
             out.append(tuple(match[p] for p in out_perm), interval)
+    if stats is not None:
+        stats.add_time("phase.filter", time.perf_counter() - filter_start)
+        stats.incr("jf.survivors", len(out))
+        stats.incr("results", len(out))
     half = tau / 2 if tau else 0
     return out.expand_intervals(half)

@@ -9,35 +9,45 @@ differential-tested against this oracle on randomized instances.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.durability import shrink_database
 from ..core.interval import Interval, Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
 
 
 def naive_join(
     query: JoinQuery,
     database: Mapping[str, TemporalRelation],
     tau: Number = 0,
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
-    """τ-durable temporal join by exhaustive backtracking."""
+    """τ-durable temporal join by exhaustive backtracking.
+
+    ``stats`` records ``naive.candidates`` — every (partial binding,
+    tuple) pair the backtracking considered — and ``results``. The oracle
+    is for testing, so the counter is maintained unconditionally.
+    """
     query.validate(database)
     db = shrink_database(database, tau)
     names = query.edge_names
     edge_attrs = {name: query.edge(name) for name in names}
     out = JoinResultSet(query.attrs)
     binding: Dict[str, object] = {}
+    candidates = 0
 
     def recurse(idx: int, interval: Interval) -> None:
+        nonlocal candidates
         if idx == len(names):
             out.append(tuple(binding[a] for a in query.attrs), interval)
             return
         name = names[idx]
         attrs = edge_attrs[name]
         for values, ivl in db[name]:
+            candidates += 1
             ok = True
             added: List[str] = []
             for attr, value in zip(attrs, values):
@@ -56,6 +66,9 @@ def naive_join(
                 del binding[attr]
 
     recurse(0, Interval.always())
+    if stats is not None:
+        stats.incr("naive.candidates", candidates)
+        stats.incr("results", len(out))
     half = tau / 2 if tau else 0
     return out.expand_intervals(half)
 

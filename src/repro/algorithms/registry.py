@@ -2,18 +2,33 @@
 
 Every evaluation strategy from the paper is registered under the name the
 experiments section uses; ``temporal_join(..., algorithm="auto")`` runs
-the Figure 7 planner and dispatches to its pick.
+the Figure 7 planner and dispatches to its pick. When the planner's pick
+is structurally inapplicable to the given instance (checked *up front*,
+never by catching mid-execution errors), dispatch falls back to the
+universally applicable HYBRID with algorithm-specific keyword arguments
+stripped.
+
+:func:`explain_analyze` is the observability entry point: it evaluates
+the query with an :class:`~repro.obs.ExecutionStats` attached and
+returns the planner's static ``explain()`` alongside the measured
+counters — the paper's theory (Figure 4 exponents) next to what actually
+happened.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+import inspect
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from ..core.errors import PlanError, QueryError
+from ..core.errors import QueryError
 from ..core.interval import Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
 
 Algorithm = Callable[..., JoinResultSet]
 
@@ -106,7 +121,7 @@ def _ensure_loaded() -> None:
 
     _REGISTRY.setdefault("timefirst", timefirst_join)
 
-    def timefirst_cm(query, database, tau=0, **kwargs):
+    def timefirst_cm(query, database, tau=0, stats=None, **kwargs):
         """TIMEFIRST with the comparison-model §3.2 structure.
 
         Only applicable to (r-)hierarchical queries with totally ordered
@@ -118,6 +133,7 @@ def _ensure_loaded() -> None:
         from ..core.durability import shrink_database
         from ..core.query import JoinQuery
 
+        factory = lambda q, db: ComparisonHierarchicalState(q, stats=stats)  # noqa: E731
         if not query.is_hierarchical and query.is_r_hierarchical:
             reduced_hg, reduced_db = reduce_instance(
                 query.hypergraph, shrink_database(database, tau)
@@ -128,13 +144,15 @@ def _ensure_loaded() -> None:
             )
             result = timefirst_join(
                 reduced_query, reduced_db,
-                state_factory=lambda q, db: ComparisonHierarchicalState(q),
+                state_factory=factory,
+                stats=stats,
                 **kwargs,
             )
             return result.expand_intervals(tau / 2 if tau else 0)
         return timefirst_join(
             query, database, tau=tau,
-            state_factory=lambda q, db: ComparisonHierarchicalState(q),
+            state_factory=factory,
+            stats=stats,
             **kwargs,
         )
 
@@ -147,11 +165,97 @@ def _ensure_loaded() -> None:
     _loaded = True
 
 
+def _check_tau(tau: Number) -> None:
+    """Reject non-finite durability thresholds at the API boundary.
+
+    ``tau = inf`` would shrink every finite interval to nothing while
+    mapping infinite endpoints onto their fixed points — a join that can
+    only ever return the always-valid tuples, which no caller has ever
+    meant. ``tau = nan`` silently drops everything. Both now fail fast
+    with an explanation instead of producing a surprising empty result.
+    """
+    try:
+        finite = math.isfinite(tau)
+    except TypeError:
+        raise QueryError(
+            f"tau must be a real number, got {type(tau).__name__}: {tau!r}"
+        ) from None
+    if not finite:
+        raise QueryError(
+            f"tau must be finite, got {tau!r}; durability over an infinite "
+            "window is not a meaningful temporal join"
+        )
+    if tau < 0:
+        raise QueryError(f"tau must be non-negative, got {tau!r}")
+
+
+def _applicable(name: str, query: JoinQuery) -> bool:
+    """Up-front structural applicability check for an algorithm pick.
+
+    This is the *entire* fallback condition for ``algorithm="auto"``:
+    a plan is abandoned only when this predicate says the algorithm
+    cannot run on ``query`` at all, never because some mid-execution
+    error happened to be a :class:`PlanError`.
+    """
+    if name == "hybrid-interval":
+        from ..nontemporal.ghd import find_guarded_partition
+
+        return find_guarded_partition(query.hypergraph) is not None
+    if name == "timefirst-cm":
+        return query.is_hierarchical or query.is_r_hierarchical
+    return True
+
+
+def _strip_unsupported_kwargs(fn: Algorithm, kwargs: Dict) -> Dict:
+    """Drop keyword arguments ``fn`` does not accept.
+
+    Used only on the auto-dispatch fallback path: kwargs meant for the
+    planner's original pick (e.g. ``residual_strategy=`` for
+    HYBRID-INTERVAL) must not crash the substitute algorithm.
+    """
+    sig = inspect.signature(fn)
+    params = sig.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return dict(kwargs)
+    accepted = {
+        p.name
+        for p in params
+        if p.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+    return {k: v for k, v in kwargs.items() if k in accepted}
+
+
+def _resolve_auto(
+    query: JoinQuery, kwargs: Dict
+) -> Tuple[str, Algorithm, Dict]:
+    """Run the Figure 7 planner and validate its pick up front.
+
+    Returns ``(name, fn, kwargs)``; when the planner's pick is
+    structurally inapplicable to this instance the universally
+    applicable HYBRID is substituted, with algorithm-specific kwargs
+    stripped. Errors raised *during* the chosen algorithm's execution —
+    including :class:`PlanError` from nested machinery — propagate to
+    the caller untouched.
+    """
+    from ..core.planner import plan
+
+    choice = plan(query)
+    name = choice.algorithm
+    if _applicable(name, query):
+        return name, _REGISTRY[name], kwargs
+    fallback = _REGISTRY["hybrid"]
+    return "hybrid", fallback, _strip_unsupported_kwargs(fallback, kwargs)
+
+
 def temporal_join(
     query: JoinQuery,
     database: Mapping[str, TemporalRelation],
     tau: Number = 0,
     algorithm: str = "auto",
+    stats: Optional[ExecutionStats] = None,
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate the τ-durable temporal join of ``query`` on ``database``.
@@ -163,11 +267,16 @@ def temporal_join(
     database:
         Mapping from relation name to :class:`TemporalRelation`.
     tau:
-        Durability threshold; 0 gives the plain temporal join.
+        Durability threshold; 0 gives the plain temporal join. Must be a
+        finite non-negative number (:class:`QueryError` otherwise).
     algorithm:
         ``"auto"`` (Figure 7 planner), or one of
         :func:`available_algorithms` — ``timefirst``, ``hybrid``,
         ``hybrid-interval``, ``baseline``, ``joinfirst``, ``naive``.
+    stats:
+        Optional :class:`~repro.obs.ExecutionStats` that the selected
+        algorithm fills with execution counters and phase timers. When
+        ``None`` (the default) no telemetry code runs.
     kwargs:
         Forwarded to the selected algorithm (e.g. ``order=`` for
         ``baseline``, ``mode=`` for ``hybrid``).
@@ -179,16 +288,104 @@ def temporal_join(
         (the original, un-shrunk intervals even when ``tau > 0``).
     """
     _ensure_loaded()
+    _check_tau(tau)
     if algorithm == "auto":
-        from ..core.planner import plan
-
-        choice = plan(query)
-        fn = _REGISTRY[choice.algorithm]
-        try:
-            return fn(query, database, tau=tau, **kwargs)
-        except PlanError:
-            # Planner said guarded but caller supplied an exotic database
-            # edge case; fall back to the universally applicable HYBRID.
-            return _REGISTRY["hybrid"](query, database, tau=tau, **kwargs)
-    fn = get_algorithm(algorithm)
+        _, fn, kwargs = _resolve_auto(query, kwargs)
+    else:
+        fn = get_algorithm(algorithm)
+    if stats is not None:
+        kwargs = dict(kwargs, stats=stats)
     return fn(query, database, tau=tau, **kwargs)
+
+
+@dataclass
+class ExplainAnalyze:
+    """Planner explanation + measured execution profile of one join run."""
+
+    algorithm: str
+    plan_explanation: str
+    stats: ExecutionStats
+    result: JoinResultSet
+    seconds: float
+    tau: Number
+    input_size: int
+
+    def render(self) -> str:
+        """Aligned, ``EXPLAIN ANALYZE``-style report."""
+        head = [
+            f"algorithm:  {self.algorithm}",
+            f"tau:        {self.tau}",
+            f"input rows: {self.input_size}",
+            f"results:    {len(self.result)}",
+            f"wall time:  {self.seconds * 1e3:.3f} ms",
+        ]
+        body = self.stats.render()
+        sections = [
+            "-- plan " + "-" * 32,
+            self.plan_explanation,
+            "-- execution " + "-" * 27,
+            "\n".join(head),
+        ]
+        if body:
+            sections += ["-- counters " + "-" * 28, body]
+        return "\n".join(sections)
+
+
+def explain_analyze(
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number = 0,
+    algorithm: str = "auto",
+    stats: Optional[ExecutionStats] = None,
+    **kwargs,
+) -> ExplainAnalyze:
+    """Run the join with telemetry attached and report plan + counters.
+
+    The observability counterpart of :func:`temporal_join`: evaluates the
+    query exactly as ``temporal_join`` would (same planner, same
+    fallback, same kwargs) but with an :class:`ExecutionStats` collecting
+    counters, and returns an :class:`ExplainAnalyze` pairing the
+    planner's static ``explain()`` with what actually happened — events
+    processed, peak active-set size, intermediate cardinalities, phase
+    timers, wall time.
+
+    ``stats`` may be supplied to accumulate counters across several runs
+    (e.g. a parameter sweep); by default a fresh object is used.
+    """
+    _ensure_loaded()
+    _check_tau(tau)
+    from ..core.planner import plan
+
+    choice = plan(query)
+    if algorithm == "auto":
+        name, fn, kwargs = _resolve_auto(query, kwargs)
+    else:
+        name = algorithm
+        fn = get_algorithm(algorithm)
+    if stats is None:
+        stats = ExecutionStats()
+    start = time.perf_counter()
+    result = fn(query, database, tau=tau, stats=stats, **kwargs)
+    seconds = time.perf_counter() - start
+    explanation = choice.explain()
+    if algorithm != "auto":
+        if name != choice.algorithm:
+            explanation += (
+                f"\n(algorithm forced to {name!r} by caller; the planner "
+                f"would have picked {choice.algorithm!r})"
+            )
+    elif name != choice.algorithm:
+        explanation += (
+            f"\n(auto fallback: planner picked {choice.algorithm!r}, "
+            f"inapplicable to this instance; ran {name!r})"
+        )
+    input_size = sum(len(rel) for rel in database.values())
+    return ExplainAnalyze(
+        algorithm=name,
+        plan_explanation=explanation,
+        stats=stats,
+        result=result,
+        seconds=seconds,
+        tau=tau,
+        input_size=input_size,
+    )

@@ -23,6 +23,7 @@ from ..core.interval import Interval, Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
 from .events import EXPIRE, INSERT, event_stream
 
 Values = Tuple[object, ...]
@@ -59,21 +60,53 @@ def sweep(
     query: JoinQuery,
     database: Mapping[str, TemporalRelation],
     state: SweepState,
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
     """Run Algorithm 1 with the supplied dynamic structure.
 
     The database is assumed already shrunk if a durability threshold
     applies; use :func:`timefirst_join` for the full τ-aware entry point.
+
+    When ``stats`` is given, records ``sweep.events`` (always ``2N``),
+    ``sweep.inserts``, ``sweep.enumerate_calls`` (one per expiration),
+    ``sweep.active_peak`` (high-water mark of the active set), the final
+    ``results`` count, and the ``phase.events`` / ``phase.sweep`` timers.
+    With ``stats=None`` the uninstrumented loop below runs unchanged.
     """
     out = JoinResultSet(query.attrs)
-    for event in event_stream(database):
-        if event.kind == INSERT:
-            state.insert(event.relation, event.values, event.interval)
-        else:
-            state.enumerate_results(
-                event.relation, event.values, event.interval, out
-            )
-            state.delete(event.relation, event.values, event.interval)
+    if stats is None:
+        for event in event_stream(database):
+            if event.kind == INSERT:
+                state.insert(event.relation, event.values, event.interval)
+            else:
+                state.enumerate_results(
+                    event.relation, event.values, event.interval, out
+                )
+                state.delete(event.relation, event.values, event.interval)
+        return out
+
+    with stats.timer("phase.events"):
+        events = event_stream(database)
+    active = peak = inserts = 0
+    with stats.timer("phase.sweep"):
+        for event in events:
+            if event.kind == INSERT:
+                inserts += 1
+                active += 1
+                if active > peak:
+                    peak = active
+                state.insert(event.relation, event.values, event.interval)
+            else:
+                state.enumerate_results(
+                    event.relation, event.values, event.interval, out
+                )
+                state.delete(event.relation, event.values, event.interval)
+                active -= 1
+    stats.incr("sweep.events", len(events))
+    stats.incr("sweep.inserts", inserts)
+    stats.incr("sweep.enumerate_calls", len(events) - inserts)
+    stats.peak("sweep.active_peak", peak)
+    stats.incr("results", len(out))
     return out
 
 
@@ -82,6 +115,7 @@ def timefirst_join(
     database: Mapping[str, TemporalRelation],
     tau: Number = 0,
     state_factory: Optional[object] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> JoinResultSet:
     """τ-durable temporal join via TIMEFIRST with an auto-selected state.
 
@@ -90,21 +124,27 @@ def timefirst_join(
     everything else uses the GHD-based generic state.
 
     ``state_factory`` overrides the choice: a callable
-    ``(query, database) -> SweepState``.
+    ``(query, database) -> SweepState``. ``stats`` opts into execution
+    telemetry (see :mod:`repro.obs`); it is handed to the sweep and to
+    the built-in states, which add their structure-level counters.
     """
     from ..core.classification import reduce_instance
     from .generic_state import GenericGHDState
     from .hierarchical import HierarchicalState
 
     query.validate(database)
-    db = shrink_database(database, tau)
+    if stats is None:
+        db = shrink_database(database, tau)
+    else:
+        with stats.timer("phase.shrink"):
+            db = shrink_database(database, tau)
 
     if state_factory is not None:
         run_query, run_db = query, db
         state = state_factory(run_query, run_db)  # type: ignore[operator]
     elif query.is_hierarchical:
         run_query, run_db = query, db
-        state = HierarchicalState(run_query)
+        state = HierarchicalState(run_query, stats=stats)
     elif query.is_r_hierarchical:
         reduced_hg, reduced_db = reduce_instance(query.hypergraph, db)
         run_query = JoinQuery.from_hypergraph(reduced_hg)
@@ -115,12 +155,12 @@ def timefirst_join(
             attr_order=query.attrs,
         )
         run_db = reduced_db
-        state = HierarchicalState(run_query)
+        state = HierarchicalState(run_query, stats=stats)
     else:
         run_query, run_db = query, db
-        state = GenericGHDState(run_query, run_db)
+        state = GenericGHDState(run_query, run_db, stats=stats)
 
-    result = sweep(run_query, run_db, state)
+    result = sweep(run_query, run_db, state, stats=stats)
     if tuple(result.attrs) != tuple(query.attrs):  # pragma: no cover - defensive
         raise AssertionError("sweep returned unexpected attribute layout")
     return result.expand_intervals(tau / 2 if tau else 0)

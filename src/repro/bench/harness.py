@@ -27,6 +27,7 @@ from ..core.interval import Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
 
 
 @dataclass
@@ -41,6 +42,7 @@ class Measurement:
     tau: Number
     ok: bool = True
     note: str = ""
+    stats: Optional[ExecutionStats] = None
 
     @property
     def throughput(self) -> float:
@@ -55,9 +57,16 @@ def measure(
     tau: Number = 0,
     measure_memory: bool = True,
     repeat: int = 1,
+    collect_stats: bool = False,
     **kwargs,
 ) -> Measurement:
-    """Run one algorithm, returning time, peak memory, and result count."""
+    """Run one algorithm, returning time, peak memory, and result count.
+
+    With ``collect_stats=True`` a *separate* instrumented run fills
+    ``Measurement.stats`` with execution counters; the timed runs stay
+    uninstrumented so telemetry never contaminates the reported
+    wall-clock numbers.
+    """
     fn = get_algorithm(algorithm)
     n = query.input_size(database)
 
@@ -78,6 +87,11 @@ def measure(
         finally:
             tracemalloc.stop()
 
+    stats: Optional[ExecutionStats] = None
+    if collect_stats:
+        stats = ExecutionStats()
+        fn(query, database, tau=tau, stats=stats, **kwargs)
+
     return Measurement(
         algorithm=algorithm,
         seconds=best,
@@ -85,6 +99,7 @@ def measure(
         result_count=len(result),
         input_size=n,
         tau=tau,
+        stats=stats,
     )
 
 
@@ -96,12 +111,15 @@ def compare_algorithms(
     measure_memory: bool = True,
     validate: bool = True,
     repeat: int = 1,
+    collect_stats: bool = False,
 ) -> List[Measurement]:
     """Measure several algorithms on one workload, cross-validating output.
 
     Algorithms that raise :class:`ReproError` (e.g. HYBRID-INTERVAL on a
     query without a guarded partition) are reported with ``ok=False`` and
-    a note instead of aborting the whole figure.
+    a note instead of aborting the whole figure. ``collect_stats=True``
+    attaches an execution-counter profile to each measurement (taken in
+    a dedicated run, never the timed one).
     """
     measurements: List[Measurement] = []
     reference: Optional[List] = None
@@ -110,6 +128,7 @@ def compare_algorithms(
             m = measure(
                 name, query, database, tau=tau,
                 measure_memory=measure_memory, repeat=repeat,
+                collect_stats=collect_stats,
             )
         except ReproError as exc:
             measurements.append(

@@ -116,6 +116,47 @@ def render_ratio_table(
     return "\n".join(lines)
 
 
+def render_stats_table(
+    title: str,
+    rows: Mapping[object, Sequence[Measurement]],
+    counters: Optional[Sequence[str]] = None,
+    x_label: str = "x",
+) -> str:
+    """Execution-counter table: one block per x value, one line per algorithm.
+
+    ``counters`` restricts the columns; by default the union of all
+    counter names present in the measurements is shown (timers excluded —
+    they are profiling aids, not workload descriptors). Measurements
+    taken without ``collect_stats=True`` render as ``-``.
+    """
+    if counters is None:
+        names: List[str] = []
+        for ms in rows.values():
+            for m in ms:
+                if m.stats is None:
+                    continue
+                for name in m.stats.counters:
+                    if name not in names:
+                        names.append(name)
+        counters = sorted(names)
+    width = max([len(c) for c in counters] + [12])
+    lines = [title, "=" * len(title)]
+    for x, ms in rows.items():
+        lines.append(f"{x_label} = {x}")
+        header = ["algorithm".rjust(16)] + [c.rjust(width) for c in counters]
+        lines.append(" | ".join(header))
+        lines.append("-" * ((width + 3) * (len(counters) + 1)))
+        for m in ms:
+            cells = [m.algorithm.rjust(16)]
+            for c in counters:
+                if m.stats is None or c not in m.stats.counters:
+                    cells.append("-".rjust(width))
+                else:
+                    cells.append(str(m.stats.counters[c]).rjust(width))
+            lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
 def render_series(
     title: str,
     xs: Sequence[object],

@@ -125,17 +125,29 @@ class Interval:
         """Shrink both ends inward by ``amount`` (the τ/2 transform).
 
         Returns ``None`` when the interval vanishes, mirroring the paper's
-        rule that tuples with empty shrunk intervals are removed.
+        rule that tuples with empty shrunk intervals are removed. An
+        infinite endpoint is a *fixed point*: an unbounded side stays
+        unbounded no matter the amount, so ``always().shrink(inf)`` is
+        ``always()`` rather than the former opaque ``NaN`` failure
+        (``-inf + inf``). Durability agrees: an unbounded interval has
+        infinite duration and survives every threshold.
         """
-        lo = self.lo + amount
-        hi = self.hi - amount
+        lo = self.lo if math.isinf(self.lo) else self.lo + amount
+        hi = self.hi if math.isinf(self.hi) else self.hi - amount
         if lo > hi:
             return None
         return Interval(lo, hi)
 
     def expand(self, amount: Number) -> "Interval":
-        """Grow both ends outward by ``amount`` (inverse of :meth:`shrink`)."""
-        return Interval(self.lo - amount, self.hi + amount)
+        """Grow both ends outward by ``amount`` (inverse of :meth:`shrink`).
+
+        Infinite endpoints are fixed points, matching :meth:`shrink`, so
+        for finite ``amount`` the round trip ``shrink(a).expand(a)`` is
+        the identity on every interval that survives the shrink.
+        """
+        lo = self.lo if math.isinf(self.lo) else self.lo - amount
+        hi = self.hi if math.isinf(self.hi) else self.hi + amount
+        return Interval(lo, hi)
 
     def clip(self, other: "Interval") -> Optional["Interval"]:
         """Alias of :meth:`intersect`, reads better when pruning residuals."""

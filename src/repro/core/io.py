@@ -14,7 +14,9 @@ Values are read as strings by default; pass ``value_parser`` to coerce
 (e.g. ``int``). Unbounded endpoints serialize as the literals ``-inf`` /
 ``inf``. Durations and timestamps are parsed as ``int`` when possible,
 ``float`` otherwise, so round-trips preserve the exact endpoint types
-the sweep sorts on.
+the sweep sorts on. Non-finite garbage (``nan`` and friends) and
+malformed endpoints are rejected at read time with a
+:class:`~repro.core.errors.SchemaError` citing ``path:lineno``.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ import math
 import pathlib
 from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Union
 
-from .errors import SchemaError
+from .errors import IntervalError, SchemaError
 from .interval import Interval, Number
 from .query import JoinQuery
 from .relation import TemporalRelation
@@ -37,6 +39,14 @@ END_COLUMN = "valid_to"
 
 
 def _parse_time(token: str) -> Number:
+    """Parse one endpoint token; NaN and garbage raise ``ValueError``.
+
+    ``±inf`` spellings are legal (unbounded endpoints); anything that
+    Python would parse to NaN (``nan``, ``NaN``, ``-nan`` …) is rejected
+    here so the caller can attach file/line context instead of the old
+    behaviour of failing much later inside ``Interval.__post_init__``
+    with no hint of where the bad row came from.
+    """
     token = token.strip()
     if token in ("inf", "+inf", "Infinity"):
         return math.inf
@@ -45,7 +55,10 @@ def _parse_time(token: str) -> Number:
     try:
         return int(token)
     except ValueError:
-        return float(token)
+        value = float(token)  # may raise ValueError: caller adds context
+    if math.isnan(value):
+        raise ValueError(f"NaN is not a valid interval endpoint: {token!r}")
+    return value
 
 
 def _format_time(value: Number) -> str:
@@ -102,7 +115,13 @@ def read_relation_csv(
                     f"{path}:{lineno}: expected {len(header)} columns, got {len(row)}"
                 )
             values = tuple(parse(v) for v in row[:-2])
-            interval = Interval(_parse_time(row[-2]), _parse_time(row[-1]))
+            try:
+                interval = Interval(_parse_time(row[-2]), _parse_time(row[-1]))
+            except (ValueError, IntervalError) as exc:
+                raise SchemaError(
+                    f"{path}:{lineno}: bad interval "
+                    f"[{row[-2]!r}, {row[-1]!r}]: {exc}"
+                ) from None
             rows.append((values, interval))
     return TemporalRelation(
         name or path.stem, attrs, rows, check_distinct=check_distinct

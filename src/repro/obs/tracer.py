@@ -1,0 +1,62 @@
+"""The pluggable tracing protocol behind ``temporal_join(..., stats=...)``.
+
+Every algorithm accepts ``stats``: any object satisfying :class:`Tracer`.
+:class:`~repro.obs.stats.ExecutionStats` is the standard recording
+implementation; :class:`NullTracer` (singleton :data:`NULL_TRACER`) is the
+explicit no-op for callers who want to pass "something" unconditionally.
+
+The disabled path is kept to ~zero cost by convention, not by the null
+object: algorithms guard instrumentation behind ``if stats is not None``
+(or duplicate a hot loop), so passing ``stats=None`` — the default —
+executes the exact pre-telemetry code path. :data:`NULL_TRACER` exists
+for composition points where threading ``Optional`` is noisier than a
+no-op sink (e.g. user-written drivers).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Recording interface used by the evaluation strategies."""
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the monotone counter ``name``."""
+        ...
+
+    def peak(self, name: str, value: int) -> None:
+        """Report a high-water-mark sample for ``name``."""
+        ...
+
+    def observe(self, name: str, value: int) -> None:
+        """Report one sample of the size distribution ``name``."""
+        ...
+
+    def timer(self, phase: str):
+        """Context manager accumulating wall-clock time for ``phase``."""
+        ...
+
+
+class NullTracer:
+    """Tracer that records nothing (safe to share; it has no state)."""
+
+    __slots__ = ()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def peak(self, name: str, value: int) -> None:
+        pass
+
+    def observe(self, name: str, value: int) -> None:
+        pass
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        yield
+
+
+NULL_TRACER = NullTracer()

@@ -8,8 +8,10 @@ from repro.bench.reporting import (
     format_seconds,
     render_ratio_table,
     render_series,
+    render_stats_table,
     render_table,
 )
+from repro.obs import ExecutionStats
 from repro.core.query import JoinQuery
 
 from conftest import random_database
@@ -37,6 +39,22 @@ class TestMeasure:
         m = Measurement("x", seconds=2.0, peak_bytes=0, result_count=10,
                         input_size=5, tau=0)
         assert m.throughput == 5.0
+
+    def test_stats_off_by_default(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=8, domain=3)
+        m = measure("timefirst", q, db, measure_memory=False)
+        assert m.stats is None
+
+    def test_collect_stats(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=8, domain=3)
+        m = measure(
+            "timefirst", q, db, measure_memory=False, collect_stats=True
+        )
+        assert m.stats is not None
+        assert m.stats["results"] == m.result_count
+        assert m.stats["sweep.events"] == 2 * m.input_size
 
 
 class TestCompare:
@@ -108,3 +126,22 @@ class TestReporting:
     def test_render_series(self):
         text = render_series("Fig1", [0, 1], {"path2": [10.0, 5.0]}, x_label="tau")
         assert "path2" in text and "10" in text
+
+    def test_render_stats_table(self):
+        a = Measurement("timefirst", 0.1, 0, 5, 50, 0)
+        a.stats = ExecutionStats()
+        a.stats.incr("sweep.events", 100)
+        b = Measurement("baseline", 0.2, 0, 5, 50, 0)  # no stats collected
+        text = render_stats_table("Counters", {0: [a, b]}, x_label="tau")
+        assert "sweep.events" in text
+        assert "100" in text
+        assert "timefirst" in text and "baseline" in text
+
+    def test_render_stats_table_column_filter(self):
+        a = Measurement("timefirst", 0.1, 0, 5, 50, 0)
+        a.stats = ExecutionStats()
+        a.stats.incr("sweep.events", 100)
+        a.stats.incr("results", 5)
+        text = render_stats_table("Counters", {0: [a]}, counters=["results"])
+        assert "results" in text
+        assert "sweep.events" not in text

@@ -41,6 +41,28 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["dodecahedron"])
 
+    def test_non_finite_tau_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["line3", "--tau", "inf"])
+        assert "finite" in capsys.readouterr().err
+
+    def test_stats_flag_prints_counters(self, capsys):
+        rc = main(
+            ["line3", "--dangling", "20", "--results", "5", "--stats",
+             "--algorithm", "timefirst"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Execution counters" in out
+        assert "[timefirst]" in out
+        assert "sweep.events" in out
+
+    def test_without_stats_flag_no_counters(self, capsys):
+        rc = main(["line3", "--dangling", "20", "--results", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Execution counters" not in out
+
     def test_parse_flag(self, capsys):
         rc = main(
             ["--parse", "R1(a,b) ⋈ R2(b,c)", "--dangling", "20",

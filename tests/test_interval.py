@@ -121,6 +121,39 @@ class TestIntervalCombinators:
     def test_clip_alias(self):
         assert Interval(0, 4).clip(Interval(2, 9)) == Interval(2, 4)
 
+    def test_shrink_infinite_amount_always_is_fixed_point(self):
+        # Regression: -inf + inf = nan used to raise an opaque
+        # IntervalError from the Interval constructor.
+        assert Interval.always().shrink(math.inf) == Interval.always()
+
+    def test_shrink_infinite_amount_half_bounded(self):
+        assert Interval(5, math.inf).shrink(math.inf) == Interval(
+            math.inf, math.inf
+        )
+        assert Interval(-math.inf, 5).shrink(math.inf) == Interval(
+            -math.inf, -math.inf
+        )
+
+    def test_shrink_infinite_amount_bounded_vanishes(self):
+        assert Interval(5, 10).shrink(math.inf) is None
+
+    def test_infinite_endpoints_are_shrink_fixed_points(self):
+        iv = Interval(0, math.inf)
+        assert iv.shrink(3) == Interval(3, math.inf)
+        assert Interval(-math.inf, 10).shrink(3) == Interval(-math.inf, 7)
+
+    def test_infinite_endpoints_are_expand_fixed_points(self):
+        assert Interval(3, math.inf).expand(3) == Interval(0, math.inf)
+        assert Interval.always().expand(math.inf) == Interval.always()
+
+    def test_expand_inverts_shrink_with_infinite_endpoints(self):
+        for iv in (
+            Interval.always(),
+            Interval(0, math.inf),
+            Interval(-math.inf, 10),
+        ):
+            assert iv.shrink(4).expand(4) == iv
+
     def test_iter_unpacks(self):
         lo, hi = Interval(2, 7)
         assert (lo, hi) == (2, 7)

@@ -1,0 +1,130 @@
+"""Tests for repro.obs: ExecutionStats and the Tracer protocol."""
+
+import time
+
+from repro.obs import NULL_TRACER, ExecutionStats, NullTracer, Tracer
+
+
+class TestCounters:
+    def test_incr_default_and_amount(self):
+        s = ExecutionStats()
+        s.incr("a")
+        s.incr("a", 4)
+        assert s["a"] == 5
+
+    def test_peak_keeps_max(self):
+        s = ExecutionStats()
+        s.peak("p", 3)
+        s.peak("p", 9)
+        s.peak("p", 5)
+        assert s["p"] == 9
+
+    def test_observe_count_total_max(self):
+        s = ExecutionStats()
+        for v in (4, 1, 7):
+            s.observe("rows", v)
+        assert s["rows.count"] == 3
+        assert s["rows.total"] == 12
+        assert s["rows.max"] == 7
+        assert s.mean("rows") == 4.0
+
+    def test_mean_unseen_is_none(self):
+        assert ExecutionStats().mean("rows") is None
+
+    def test_get_and_contains(self):
+        s = ExecutionStats()
+        s.incr("x")
+        assert "x" in s and "y" not in s
+        assert s.get("y") == 0
+        assert s.get("y", -1) == -1
+
+    def test_bool(self):
+        s = ExecutionStats()
+        assert not s
+        s.incr("x")
+        assert s
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        s = ExecutionStats()
+        with s.timer("phase.a"):
+            time.sleep(0.001)
+        first = s.timers["phase.a"]
+        assert first > 0
+        with s.timer("phase.a"):
+            pass
+        assert s.timers["phase.a"] >= first
+
+    def test_timer_records_on_exception(self):
+        s = ExecutionStats()
+        try:
+            with s.timer("phase.x"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert s.timers["phase.x"] >= 0
+
+    def test_add_time(self):
+        s = ExecutionStats()
+        s.add_time("phase.y", 0.25)
+        s.add_time("phase.y", 0.25)
+        assert s.timers["phase.y"] == 0.5
+
+
+class TestMergeAndRender:
+    def test_merge_adds_counters_and_times(self):
+        a, b = ExecutionStats(), ExecutionStats()
+        a.incr("n", 2)
+        b.incr("n", 3)
+        a.add_time("phase.z", 0.1)
+        b.add_time("phase.z", 0.2)
+        a.merge(b)
+        assert a["n"] == 5
+        assert abs(a.timers["phase.z"] - 0.3) < 1e-12
+
+    def test_merge_maxes_peaks_and_distribution_max(self):
+        a, b = ExecutionStats(), ExecutionStats()
+        a.peak("active_peak", 10)
+        b.peak("active_peak", 4)
+        a.observe("rows", 2)
+        b.observe("rows", 8)
+        a.merge(b)
+        assert a["active_peak"] == 10
+        assert a["rows.max"] == 8
+        assert a["rows.count"] == 2
+        assert a["rows.total"] == 10
+
+    def test_as_dict_flattens(self):
+        s = ExecutionStats()
+        s.incr("n", 7)
+        s.add_time("phase.t", 0.5)
+        d = s.as_dict()
+        assert d["n"] == 7 and d["phase.t"] == 0.5
+
+    def test_render_empty(self):
+        assert "no telemetry" in ExecutionStats().render()
+
+    def test_render_lists_counters_and_timers(self):
+        s = ExecutionStats()
+        s.incr("sweep.events", 10)
+        s.add_time("phase.sweep", 0.0012)
+        text = s.render()
+        assert "sweep.events" in text and "10" in text
+        assert "phase.sweep" in text and "ms" in text
+
+
+class TestTracerProtocol:
+    def test_execution_stats_is_a_tracer(self):
+        assert isinstance(ExecutionStats(), Tracer)
+
+    def test_null_tracer_is_a_tracer(self):
+        assert isinstance(NULL_TRACER, Tracer)
+        assert isinstance(NullTracer(), Tracer)
+
+    def test_null_tracer_swallows_everything(self):
+        NULL_TRACER.incr("x")
+        NULL_TRACER.peak("x", 5)
+        NULL_TRACER.observe("x", 5)
+        with NULL_TRACER.timer("phase.x"):
+            pass
