@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint bench examples figures clean
+.PHONY: install test lint bench bench-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,6 +17,11 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Small serial-vs-2-worker timing snapshot; accumulates the perf
+# trajectory of the parallel engine as BENCH_parallel.json per commit.
+bench-smoke:
+	PYTHONPATH=src python -m repro.bench.smoke --out BENCH_parallel.json
 
 figures: bench
 	@cat benchmarks/results/*.txt

@@ -15,7 +15,7 @@ from .algorithms.registry import (
     _check_tau,
     available_algorithms,
     describe_algorithms,
-    get_algorithm,
+    temporal_join,
 )
 from .core.advisor import advise
 from .core.errors import ReproError
@@ -57,6 +57,14 @@ def main(argv=None) -> int:
                         help="synthetic backbone result count")
     parser.add_argument("--algorithm", default=None,
                         help="run only this algorithm (default: all)")
+    parser.add_argument("--workers", type=int, default=None, metavar="P",
+                        help="run each algorithm across P time shards via "
+                             "the parallel engine (default: serial)")
+    parser.add_argument("--parallel-mode", default="process",
+                        choices=["process", "inline"],
+                        help="parallel execution mode: 'process' uses a "
+                             "spawn-based pool, 'inline' runs the same "
+                             "sharded plan in-process (debugging)")
     parser.add_argument("--stats", action="store_true",
                         help="collect execution counters (EXPLAIN ANALYZE "
                              "style) and print them per algorithm")
@@ -87,8 +95,16 @@ def main(argv=None) -> int:
     database = generate(query, config)
     n = query.input_size(database)
 
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
     label = "custom query" if args.parse is not None else args.query
     print(f"Workload: synthetic {label}, N = {n} tuples, tau = {args.tau:g}")
+    if args.workers is not None:
+        print(
+            f"Parallel: {args.workers} time shards "
+            f"({args.parallel_mode} mode, exactly-once merge)"
+        )
     print()
     print("Figure 7 planner decision")
     print("-" * 40)
@@ -108,11 +124,15 @@ def main(argv=None) -> int:
     print("-" * 40)
     reference = None
     profiles = []
+    run_kwargs = {}
+    if args.workers is not None:
+        run_kwargs = {"workers": args.workers, "parallel_mode": args.parallel_mode}
     for name in algorithms:
-        fn = get_algorithm(name)
         start = time.perf_counter()
         try:
-            result = fn(query, database, tau=args.tau)
+            result = temporal_join(
+                query, database, tau=args.tau, algorithm=name, **run_kwargs
+            )
         except ReproError as exc:
             print(f"{name:>16}: not applicable ({exc})")
             continue
@@ -125,7 +145,10 @@ def main(argv=None) -> int:
         print(f"{name:>16}: {len(result):>8} results in {elapsed * 1e3:9.1f} ms{status}")
         if args.stats:
             stats = ExecutionStats()
-            fn(query, database, tau=args.tau, stats=stats)
+            temporal_join(
+                query, database, tau=args.tau, algorithm=name,
+                stats=stats, **run_kwargs,
+            )
             profiles.append((name, stats))
 
     if profiles:

@@ -206,12 +206,23 @@ def _applicable(name: str, query: JoinQuery) -> bool:
     return True
 
 
-def _strip_unsupported_kwargs(fn: Algorithm, kwargs: Dict) -> Dict:
+#: Keyword arguments consumed by the dispatch layer itself, never by an
+#: algorithm function. :func:`strip_unsupported_kwargs` always keeps them,
+#: so benchmark code can hand one common kwargs dict (``workers=`` …) to
+#: algorithms with differing signatures.
+EXECUTOR_KWARGS = frozenset({"workers", "parallel_mode"})
+
+
+def strip_unsupported_kwargs(fn: Algorithm, kwargs: Dict) -> Dict:
     """Drop keyword arguments ``fn`` does not accept.
 
-    Used only on the auto-dispatch fallback path: kwargs meant for the
-    planner's original pick (e.g. ``residual_strategy=`` for
-    HYBRID-INTERVAL) must not crash the substitute algorithm.
+    Dispatch-layer kwargs (:data:`EXECUTOR_KWARGS`) survive regardless of
+    ``fn``'s signature — they are consumed before ``fn`` is called. Used
+    on the auto-dispatch fallback path (kwargs meant for the planner's
+    original pick, e.g. ``residual_strategy=`` for HYBRID-INTERVAL, must
+    not crash the substitute algorithm) and by
+    :func:`repro.bench.harness.measure` to pass one shared kwargs dict
+    across algorithms.
     """
     sig = inspect.signature(fn)
     params = sig.parameters.values()
@@ -225,7 +236,12 @@ def _strip_unsupported_kwargs(fn: Algorithm, kwargs: Dict) -> Dict:
             inspect.Parameter.KEYWORD_ONLY,
         )
     }
+    accepted |= EXECUTOR_KWARGS
     return {k: v for k, v in kwargs.items() if k in accepted}
+
+
+#: Back-compat alias for the previously private name.
+_strip_unsupported_kwargs = strip_unsupported_kwargs
 
 
 def _resolve_auto(
@@ -256,6 +272,8 @@ def temporal_join(
     tau: Number = 0,
     algorithm: str = "auto",
     stats: Optional[ExecutionStats] = None,
+    workers: Optional[int] = None,
+    parallel_mode: str = "process",
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate the τ-durable temporal join of ``query`` on ``database``.
@@ -277,6 +295,16 @@ def temporal_join(
         Optional :class:`~repro.obs.ExecutionStats` that the selected
         algorithm fills with execution counters and phase timers. When
         ``None`` (the default) no telemetry code runs.
+    workers:
+        ``None`` or ``1`` (default) runs the algorithm serially.
+        ``workers >= 2`` routes through the time-domain sharded engine of
+        :mod:`repro.parallel`: the same algorithm runs on ``workers``
+        endpoint-balanced time shards and the results are merged exactly
+        once — identical output up to row order.
+    parallel_mode:
+        ``"process"`` (spawn-based pool, the default) or ``"inline"``
+        (same sharded execution inside the calling process, for
+        debugging). Ignored unless ``workers >= 2``.
     kwargs:
         Forwarded to the selected algorithm (e.g. ``order=`` for
         ``baseline``, ``mode=`` for ``hybrid``).
@@ -289,6 +317,21 @@ def temporal_join(
     """
     _ensure_loaded()
     _check_tau(tau)
+    if workers is not None and workers < 1:
+        raise QueryError(f"workers must be >= 1, got {workers!r}")
+    if workers is not None and workers > 1:
+        from ..parallel import parallel_temporal_join
+
+        return parallel_temporal_join(
+            query,
+            database,
+            tau=tau,
+            algorithm=algorithm,
+            workers=workers,
+            mode=parallel_mode,
+            stats=stats,
+            **kwargs,
+        )
     if algorithm == "auto":
         _, fn, kwargs = _resolve_auto(query, kwargs)
     else:
@@ -337,6 +380,8 @@ def explain_analyze(
     tau: Number = 0,
     algorithm: str = "auto",
     stats: Optional[ExecutionStats] = None,
+    workers: Optional[int] = None,
+    parallel_mode: str = "process",
     **kwargs,
 ) -> ExplainAnalyze:
     """Run the join with telemetry attached and report plan + counters.
@@ -350,7 +395,9 @@ def explain_analyze(
     timers, wall time.
 
     ``stats`` may be supplied to accumulate counters across several runs
-    (e.g. a parameter sweep); by default a fresh object is used.
+    (e.g. a parameter sweep); by default a fresh object is used. With
+    ``workers >= 2`` the run goes through the parallel engine and the
+    report includes the ``parallel.*`` counters and per-shard timers.
     """
     _ensure_loaded()
     _check_tau(tau)
@@ -365,7 +412,15 @@ def explain_analyze(
     if stats is None:
         stats = ExecutionStats()
     start = time.perf_counter()
-    result = fn(query, database, tau=tau, stats=stats, **kwargs)
+    if workers is not None and workers > 1:
+        from ..parallel import parallel_temporal_join
+
+        result = parallel_temporal_join(
+            query, database, tau=tau, algorithm=name,
+            workers=workers, mode=parallel_mode, stats=stats, **kwargs,
+        )
+    else:
+        result = fn(query, database, tau=tau, stats=stats, **kwargs)
     seconds = time.perf_counter() - start
     explanation = choice.explain()
     if algorithm != "auto":

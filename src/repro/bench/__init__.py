@@ -1,10 +1,17 @@
 """Benchmark harness: measurements, comparisons, figure-style reporting."""
 
-from .harness import Measurement, compare_algorithms, measure, scaling_exponent
+from .harness import (
+    Measurement,
+    compare_algorithms,
+    measure,
+    measure_scaling,
+    scaling_exponent,
+)
 from .reporting import (
     format_bytes,
     format_seconds,
     render_ratio_table,
+    render_scaling_table,
     render_series,
     render_table,
 )
@@ -15,7 +22,9 @@ __all__ = [
     "format_bytes",
     "format_seconds",
     "measure",
+    "measure_scaling",
     "render_ratio_table",
+    "render_scaling_table",
     "render_series",
     "render_table",
     "scaling_exponent",

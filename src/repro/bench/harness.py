@@ -21,7 +21,11 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from ..algorithms.registry import get_algorithm
+from ..algorithms.registry import (
+    get_algorithm,
+    strip_unsupported_kwargs,
+    temporal_join,
+)
 from ..core.errors import ReproError
 from ..core.interval import Number
 from ..core.query import JoinQuery
@@ -43,10 +47,18 @@ class Measurement:
     ok: bool = True
     note: str = ""
     stats: Optional[ExecutionStats] = None
+    workers: int = 1
 
     @property
     def throughput(self) -> float:
-        """Results per second (Figure 9's metric)."""
+        """Results per second (Figure 9's metric).
+
+        An empty result is zero throughput regardless of how fast the run
+        was — in particular a zero-result cell measured at ``seconds == 0``
+        must not report ``inf`` results/sec.
+        """
+        if self.result_count <= 0:
+            return 0.0
         return self.result_count / self.seconds if self.seconds > 0 else float("inf")
 
 
@@ -66,15 +78,28 @@ def measure(
     ``Measurement.stats`` with execution counters; the timed runs stay
     uninstrumented so telemetry never contaminates the reported
     wall-clock numbers.
+
+    ``kwargs`` may be a *shared* dict aimed at several algorithms with
+    differing signatures: the registry's kwarg-stripping drops anything
+    this algorithm does not accept, while dispatch-level kwargs
+    (``workers=``, ``parallel_mode=``) always pass through to
+    :func:`~repro.algorithms.registry.temporal_join`.
     """
-    fn = get_algorithm(algorithm)
+    if algorithm != "auto":
+        kwargs = strip_unsupported_kwargs(get_algorithm(algorithm), kwargs)
     n = query.input_size(database)
+    workers = int(kwargs.get("workers") or 1)
+
+    def run(**extra) -> JoinResultSet:
+        return temporal_join(
+            query, database, tau=tau, algorithm=algorithm, **kwargs, **extra
+        )
 
     best = float("inf")
     result: Optional[JoinResultSet] = None
     for _ in range(max(1, repeat)):
         start = time.perf_counter()
-        result = fn(query, database, tau=tau, **kwargs)
+        result = run()
         best = min(best, time.perf_counter() - start)
     assert result is not None
 
@@ -82,7 +107,7 @@ def measure(
     if measure_memory:
         tracemalloc.start()
         try:
-            fn(query, database, tau=tau, **kwargs)
+            run()
             _, peak = tracemalloc.get_traced_memory()
         finally:
             tracemalloc.stop()
@@ -90,7 +115,7 @@ def measure(
     stats: Optional[ExecutionStats] = None
     if collect_stats:
         stats = ExecutionStats()
-        fn(query, database, tau=tau, stats=stats, **kwargs)
+        run(stats=stats)
 
     return Measurement(
         algorithm=algorithm,
@@ -100,6 +125,7 @@ def measure(
         input_size=n,
         tau=tau,
         stats=stats,
+        workers=workers,
     )
 
 
@@ -112,6 +138,7 @@ def compare_algorithms(
     validate: bool = True,
     repeat: int = 1,
     collect_stats: bool = False,
+    **kwargs,
 ) -> List[Measurement]:
     """Measure several algorithms on one workload, cross-validating output.
 
@@ -119,7 +146,10 @@ def compare_algorithms(
     query without a guarded partition) are reported with ``ok=False`` and
     a note instead of aborting the whole figure. ``collect_stats=True``
     attaches an execution-counter profile to each measurement (taken in
-    a dedicated run, never the timed one).
+    a dedicated run, never the timed one). ``kwargs`` is one shared dict
+    handed to every algorithm; :func:`measure` strips per-algorithm what
+    each signature does not accept, so e.g. ``workers=4`` parallelizes
+    every cell without crashing algorithms that never heard of it.
     """
     measurements: List[Measurement] = []
     reference: Optional[List] = None
@@ -128,7 +158,7 @@ def compare_algorithms(
             m = measure(
                 name, query, database, tau=tau,
                 measure_memory=measure_memory, repeat=repeat,
-                collect_stats=collect_stats,
+                collect_stats=collect_stats, **kwargs,
             )
         except ReproError as exc:
             measurements.append(
@@ -147,6 +177,49 @@ def compare_algorithms(
             elif got != reference:
                 m.ok = False
                 m.note = "RESULT MISMATCH vs first algorithm"
+        measurements.append(m)
+    return measurements
+
+
+def measure_scaling(
+    algorithm: str,
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number = 0,
+    workers_list: Sequence[int] = (1, 2, 4, 8),
+    repeat: int = 1,
+    parallel_mode: str = "process",
+    measure_memory: bool = False,
+    collect_stats: bool = False,
+    validate: bool = True,
+) -> List[Measurement]:
+    """One algorithm at several worker counts — the parallel-speedup curve.
+
+    Returns one :class:`Measurement` per entry of ``workers_list`` (in
+    order; ``workers == 1`` is the serial anchor every speedup is
+    relative to). With ``validate=True`` each parallel cell is checked
+    against the serial result and flagged ``ok=False`` on mismatch —
+    a scaling table over wrong answers is worse than no table.
+    """
+    measurements: List[Measurement] = []
+    reference: Optional[List] = None
+    for w in workers_list:
+        m = measure(
+            algorithm, query, database, tau=tau,
+            measure_memory=measure_memory, repeat=repeat,
+            collect_stats=collect_stats,
+            workers=w, parallel_mode=parallel_mode,
+        )
+        if validate:
+            got = temporal_join(
+                query, database, tau=tau, algorithm=algorithm,
+                workers=w, parallel_mode=parallel_mode,
+            ).normalized()
+            if reference is None:
+                reference = got
+            elif got != reference:
+                m.ok = False
+                m.note = f"RESULT MISMATCH vs workers={measurements[0].workers}"
         measurements.append(m)
     return measurements
 

@@ -1,0 +1,33 @@
+"""Parallel execution engine: time-domain sharded sweeps, exactly-once merge.
+
+Runs any registered evaluation strategy across ``p`` contiguous time
+shards and reassembles the global result without deduplication. See
+``DESIGN.md`` ("Parallel execution") for the ownership rule and the
+boundary-replication argument; the entry point users normally reach is
+``temporal_join(..., workers=p)`` in :mod:`repro.algorithms.registry`.
+"""
+
+from .executor import MODES, parallel_temporal_join
+from .merge import merge_outcomes
+from .partition import (
+    TimePartition,
+    collect_endpoints,
+    partition_timeline,
+    replication_factor,
+    shard_databases,
+)
+from .worker import ShardOutcome, ShardTask, run_shard
+
+__all__ = [
+    "MODES",
+    "ShardOutcome",
+    "ShardTask",
+    "TimePartition",
+    "collect_endpoints",
+    "merge_outcomes",
+    "parallel_temporal_join",
+    "partition_timeline",
+    "replication_factor",
+    "run_shard",
+    "shard_databases",
+]

@@ -1,0 +1,139 @@
+"""The parallel execution engine: shard, fan out, merge exactly once.
+
+:func:`parallel_temporal_join` runs *any* registered algorithm across
+``workers`` time shards:
+
+1. :func:`~repro.parallel.partition.partition_timeline` places
+   endpoint-balanced cuts;
+2. :func:`~repro.parallel.partition.shard_databases` replicates each
+   tuple into every shard its interval overlaps;
+3. each shard evaluates the unmodified serial algorithm
+   (:func:`~repro.parallel.worker.run_shard`) and keeps only the results
+   it owns under the exactly-once rule;
+4. :func:`~repro.parallel.merge.merge_outcomes` concatenates.
+
+Execution modes
+---------------
+``"process"`` (default) uses a ``multiprocessing`` pool with the
+``spawn`` start method — safe under every interpreter configuration, at
+the cost of one interpreter start per worker; each shard task is pickled
+exactly once. ``"inline"`` runs the identical shard tasks sequentially
+in the calling process: same partitioning, same ownership filter, same
+merge, no processes — the debugging and testing mode. ``workers=1``
+always runs inline (a single shard needs no pool).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Mapping, Optional, Sequence
+
+from ..core.errors import QueryError
+from ..core.interval import Number
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
+from .merge import merge_outcomes
+from .partition import (
+    TimePartition,
+    partition_timeline,
+    replication_factor,
+    shard_databases,
+)
+from .worker import ShardOutcome, ShardTask, run_shard
+
+#: Execution modes accepted by :func:`parallel_temporal_join`.
+MODES = ("process", "inline")
+
+
+def parallel_temporal_join(
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number = 0,
+    algorithm: str = "auto",
+    workers: int = 2,
+    mode: str = "process",
+    cuts: Optional[Sequence[Number]] = None,
+    stats: Optional[ExecutionStats] = None,
+    **kwargs,
+) -> JoinResultSet:
+    """Evaluate a τ-durable temporal join across ``workers`` time shards.
+
+    Parameters mirror :func:`repro.algorithms.registry.temporal_join`
+    plus the parallel knobs:
+
+    workers:
+        Requested shard/worker count. The effective shard count may be
+        lower when the endpoint distribution does not admit that many
+        distinct cuts; ``stats`` reports it as ``parallel.shards``.
+    mode:
+        ``"process"`` (spawn-based pool) or ``"inline"`` (sequential
+        in-process execution of the same shard tasks).
+    cuts:
+        Explicit interior cut points overriding the endpoint-balanced
+        partitioner — for experiments and boundary tests.
+
+    Returns the same :class:`JoinResultSet` (up to row order) as the
+    serial ``temporal_join`` with the same arguments; the merge path
+    performs no deduplication, relying on the ownership rule.
+    """
+    from ..algorithms.registry import _check_tau, _resolve_auto, _ensure_loaded
+
+    _ensure_loaded()
+    _check_tau(tau)
+    query.validate(database)
+    if mode not in MODES:
+        raise QueryError(f"unknown parallel mode {mode!r}; expected {MODES}")
+    if workers < 1:
+        raise QueryError(f"workers must be >= 1, got {workers}")
+    if algorithm == "auto":
+        algorithm, _, kwargs = _resolve_auto(query, kwargs)
+
+    if cuts is not None:
+        partition = TimePartition(tuple(cuts))
+    else:
+        partition = partition_timeline(database, workers)
+    shard_dbs = shard_databases(database, partition)
+    _, replicated = replication_factor(database, shard_dbs)
+
+    tasks = [
+        ShardTask(
+            shard=i,
+            query=query,
+            database=shard_db,
+            tau=tau,
+            algorithm=algorithm,
+            cuts=partition.cuts,
+            kwargs=dict(kwargs),
+            collect_stats=stats is not None,
+        )
+        for i, shard_db in enumerate(shard_dbs)
+    ]
+
+    n_procs = min(workers, len(tasks))
+    if mode == "process" and n_procs > 1:
+        outcomes = _run_pool(tasks, n_procs)
+    else:
+        outcomes = [run_shard(task) for task in tasks]
+
+    return merge_outcomes(
+        query,
+        outcomes,
+        stats=stats,
+        workers=n_procs,
+        replicated=replicated,
+    )
+
+
+def _run_pool(tasks: Sequence[ShardTask], n_procs: int) -> Sequence[ShardOutcome]:
+    """Fan shard tasks out to a spawn-based process pool.
+
+    ``spawn`` starts each worker from a fresh interpreter, so
+    :func:`run_shard` must stay importable as
+    ``repro.parallel.worker.run_shard`` — the test suite's process-mode
+    smoke test guards that. Worker exceptions re-raise here unchanged.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=n_procs) as pool:
+        return pool.map(run_shard, tasks, chunksize=1)

@@ -1,0 +1,89 @@
+"""Shard worker: runs one serial algorithm on one time shard.
+
+:func:`run_shard` is the function shipped to worker processes. It is a
+plain module-level function over picklable dataclasses, so it works
+under every ``multiprocessing`` start method including ``spawn`` (where
+the child interpreter imports this module fresh and receives the task by
+pickle — nothing may depend on inherited parent state).
+
+The worker evaluates the *unmodified* registered algorithm on its shard
+sub-database, then applies the ownership filter: only results whose
+intersection interval ends inside the shard's owned range survive (see
+:mod:`repro.parallel.partition`). Everything else is a boundary
+duplicate that some neighbouring shard owns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.interval import Number
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+from ..core.result import ResultRow
+from ..obs import ExecutionStats
+from .partition import TimePartition
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker needs, pickled exactly once per shard."""
+
+    shard: int
+    query: JoinQuery
+    database: Dict[str, TemporalRelation]
+    tau: Number
+    algorithm: str
+    cuts: Tuple[Number, ...]
+    kwargs: Dict = field(default_factory=dict)
+    collect_stats: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's owned results plus its execution profile."""
+
+    shard: int
+    rows: List[ResultRow]
+    input_size: int
+    raw_results: int
+    owned_results: int
+    seconds: float
+    stats: Optional[ExecutionStats] = None
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Evaluate ``task`` and keep only the results this shard owns.
+
+    The algorithm is resolved from the registry *inside* the worker —
+    functions are looked up by name rather than pickled, which keeps the
+    payload small and spawn-safe. Exceptions propagate; the pool in
+    :mod:`repro.parallel.executor` re-raises them in the parent.
+    """
+    from ..algorithms.registry import get_algorithm
+
+    fn = get_algorithm(task.algorithm)
+    partition = TimePartition(task.cuts)
+    stats = ExecutionStats() if task.collect_stats else None
+    kwargs = dict(task.kwargs)
+    if stats is not None:
+        kwargs["stats"] = stats
+
+    start = time.perf_counter()
+    result = fn(task.query, task.database, tau=task.tau, **kwargs)
+    seconds = time.perf_counter() - start
+
+    shard = task.shard
+    owner = partition.owner
+    owned = [row for row in result.rows if owner(row[1].hi) == shard]
+    return ShardOutcome(
+        shard=shard,
+        rows=owned,
+        input_size=sum(len(rel) for rel in task.database.values()),
+        raw_results=len(result),
+        owned_results=len(owned),
+        seconds=seconds,
+        stats=stats,
+    )

@@ -2,11 +2,18 @@
 
 import math
 
-from repro.bench.harness import Measurement, compare_algorithms, measure, scaling_exponent
+from repro.bench.harness import (
+    Measurement,
+    compare_algorithms,
+    measure,
+    measure_scaling,
+    scaling_exponent,
+)
 from repro.bench.reporting import (
     format_bytes,
     format_seconds,
     render_ratio_table,
+    render_scaling_table,
     render_series,
     render_stats_table,
     render_table,
@@ -39,6 +46,49 @@ class TestMeasure:
         m = Measurement("x", seconds=2.0, peak_bytes=0, result_count=10,
                         input_size=5, tau=0)
         assert m.throughput == 5.0
+
+    def test_throughput_zero_results_zero_seconds_is_zero(self):
+        # A zero-result cell measured at 0 s used to report inf results/s.
+        m = Measurement("x", seconds=0.0, peak_bytes=0, result_count=0,
+                        input_size=5, tau=0)
+        assert m.throughput == 0.0
+
+    def test_throughput_zero_results_positive_seconds_is_zero(self):
+        m = Measurement("x", seconds=1.5, peak_bytes=0, result_count=0,
+                        input_size=5, tau=0)
+        assert m.throughput == 0.0
+
+    def test_throughput_positive_results_zero_seconds_stays_inf(self):
+        m = Measurement("x", seconds=0.0, peak_bytes=0, result_count=3,
+                        input_size=5, tau=0)
+        assert m.throughput == float("inf")
+
+    def test_shared_kwargs_stripped_per_algorithm(self, rng):
+        # One common kwargs dict aimed at algorithms with differing
+        # signatures: baseline accepts order=, timefirst does not;
+        # workers= is a dispatch-level kwarg every algorithm tolerates.
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=10, domain=3)
+        common = dict(
+            workers=2, parallel_mode="inline", order=("R3", "R2", "R1")
+        )
+        counts = set()
+        for name in ("timefirst", "baseline", "joinfirst"):
+            m = measure(name, q, db, measure_memory=False, **common)
+            assert m.ok
+            assert m.workers == 2
+            counts.add(m.result_count)
+        assert len(counts) == 1
+
+    def test_measure_with_workers_collects_parallel_stats(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=12, domain=3)
+        m = measure(
+            "timefirst", q, db, measure_memory=False, collect_stats=True,
+            workers=2, parallel_mode="inline",
+        )
+        assert m.stats is not None
+        assert m.stats.get("parallel.shards", 0) >= 1
 
     def test_stats_off_by_default(self, rng):
         q = JoinQuery.line(2)
@@ -78,6 +128,49 @@ class TestCompare:
         assert by_name["hybrid"].ok
         assert not by_name["hybrid-interval"].ok
         assert "guarded" in by_name["hybrid-interval"].note
+
+
+class TestCompareSharedKwargs:
+    def test_common_workers_dict_across_signatures(self, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=10, domain=3)
+        ms = compare_algorithms(
+            ["timefirst", "baseline", "joinfirst"], q, db,
+            measure_memory=False, workers=2, parallel_mode="inline",
+        )
+        assert all(m.ok for m in ms)
+        assert len({m.result_count for m in ms}) == 1
+        assert all(m.workers == 2 for m in ms)
+
+
+class TestMeasureScaling:
+    def test_scaling_cells_agree_and_carry_workers(self, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=12, domain=3)
+        ms = measure_scaling(
+            "timefirst", q, db, workers_list=(1, 2, 3),
+            parallel_mode="inline",
+        )
+        assert [m.workers for m in ms] == [1, 2, 3]
+        assert all(m.ok for m in ms)
+        assert len({m.result_count for m in ms}) == 1
+
+    def test_render_scaling_table(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=10, domain=3)
+        ms = measure_scaling(
+            "timefirst", q, db, workers_list=(1, 2), parallel_mode="inline"
+        )
+        text = render_scaling_table("Scaling", {"timefirst": ms})
+        assert "workers=1" in text and "workers=2" in text
+        assert "×1.00" in text  # the serial anchor's own speedup
+
+    def test_render_scaling_table_flags_mismatch(self):
+        a = Measurement("x", 0.2, 0, 5, 50, 0, workers=1)
+        b = Measurement("x", 0.1, 0, 5, 50, 0, workers=2, ok=False,
+                        note="RESULT MISMATCH vs workers=1")
+        text = render_scaling_table("Scaling", {"x": [a, b]})
+        assert "MISMATCH" in text
 
 
 class TestScalingExponent:

@@ -91,3 +91,44 @@ class TestCLI:
         for name in available_algorithms():
             assert name in text
         assert "(no description)" not in text
+
+
+class TestCLIParallel:
+    def test_workers_inline_run(self, capsys):
+        rc = main(
+            ["line3", "--dangling", "20", "--results", "5",
+             "--workers", "2", "--parallel-mode", "inline"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Parallel: 2 time shards" in out
+        assert "inline mode" in out
+        assert "RESULT MISMATCH" not in out
+
+    def test_workers_with_stats_reports_shard_counters(self, capsys):
+        rc = main(
+            ["line3", "--dangling", "20", "--results", "5",
+             "--workers", "3", "--parallel-mode", "inline", "--stats",
+             "--algorithm", "timefirst"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel.shards" in out
+        assert "phase.parallel.shard00" in out
+
+    def test_invalid_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["line3", "--workers", "0"])
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_process_mode_end_to_end(self, capsys):
+        # The acceptance path: a real spawn-based pool, kept tiny.
+        rc = main(
+            ["line3", "--dangling", "15", "--results", "4",
+             "--workers", "2", "--algorithm", "timefirst", "--stats"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Parallel: 2 time shards" in out
+        assert "parallel.shards" in out
+        assert "RESULT MISMATCH" not in out

@@ -120,3 +120,61 @@ class TestEquivalenceWithOffline:
         arrivals = arrivals_from_database(db)
         rows = list(stream_temporal_join(query, arrivals))
         assert len(rows) == len(set(rows))
+
+
+class TestBoundaryExpiry:
+    """Watermark exactly at a tuple's right endpoint (closed-interval edge).
+
+    ``advance_to(w)`` drains strictly below ``w``: a tuple expiring
+    exactly at ``w`` may still join a future arrival starting at ``w``
+    (closed intervals touch), so boundary expiry must be deferred — and
+    then finalized *exactly once* by a later watermark or ``finish()``.
+    """
+
+    def _pair(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 5))
+        op.insert("R2", (2, "h"), (2, 5))
+        return op
+
+    def test_watermark_at_right_endpoint_defers_expiry(self):
+        op = self._pair()
+        assert op.advance_to(5) == []
+        assert op.active_count == 2  # nothing finalized yet
+
+    def test_repeated_boundary_watermarks_do_not_duplicate(self):
+        op = self._pair()
+        assert op.advance_to(5) == []
+        assert op.advance_to(5) == []
+        out = op.advance_to(5.1)
+        assert out == [((1, "h", 2), Interval(2, 5))]
+        assert op.advance_to(5.1) == []
+        assert op.finish() == []
+
+    def test_boundary_expiry_then_finish_emits_exactly_once(self):
+        op = self._pair()
+        op.advance_to(5)
+        out = op.finish()
+        assert out == [((1, "h", 2), Interval(2, 5))]
+        assert op.results().rows.count(((1, "h", 2), Interval(2, 5))) == 1
+
+    def test_arrival_at_boundary_still_joins_deferred_tuple(self):
+        op = self._pair()
+        op.advance_to(5)
+        out = op.insert("R2", (3, "h"), (5, 7))
+        # Inserting at t=5 drains strictly-before-5 only; both results
+        # appear when the boundary tuples finally expire.
+        final = out + op.finish()
+        assert sorted(final) == [
+            ((1, "h", 2), Interval(2, 5)),
+            ((1, "h", 3), Interval(5, 5)),
+        ]
+
+    def test_instant_tuple_at_watermark(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (3, 3))
+        op.insert("R2", (2, "h"), (3, 3))
+        assert op.advance_to(3) == []  # the instant [3,3] is not yet safe
+        assert op.finish() == [((1, "h", 2), Interval(3, 3))]

@@ -1,0 +1,196 @@
+"""Tests for the time-domain partitioner and the exactly-once ownership rule."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import QueryError
+from repro.core.interval import Interval
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+from repro.parallel.partition import (
+    TimePartition,
+    collect_endpoints,
+    partition_timeline,
+    replication_factor,
+    shard_databases,
+)
+
+from conftest import random_database
+
+INF = float("inf")
+
+cut_lists = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=0, max_size=6, unique=True
+).map(lambda xs: tuple(sorted(xs)))
+
+instants = st.one_of(
+    st.integers(min_value=-150, max_value=150),
+    st.sampled_from([-INF, INF]),
+)
+
+
+class TestTimePartition:
+    def test_validation_rejects_unsorted_cuts(self):
+        with pytest.raises(QueryError):
+            TimePartition((5, 3))
+
+    def test_validation_rejects_duplicate_cuts(self):
+        with pytest.raises(QueryError):
+            TimePartition((3, 3))
+
+    def test_validation_rejects_infinite_cuts(self):
+        with pytest.raises(QueryError):
+            TimePartition((float("inf"),))
+        with pytest.raises(QueryError):
+            TimePartition((float("nan"),))
+
+    def test_single_shard(self):
+        p = TimePartition(())
+        assert p.n_shards == 1
+        assert p.owner(-INF) == 0
+        assert p.owner(42) == 0
+        assert p.owner(INF) == 0
+        assert p.window(0) == Interval.always()
+
+    @given(cuts=cut_lists, t=instants)
+    @settings(max_examples=200, deadline=None)
+    def test_every_instant_owned_by_exactly_one_shard(self, cuts, t):
+        partition = TimePartition(cuts)
+        owner = partition.owner(t)
+        assert 0 <= owner < partition.n_shards
+        # The owned range [c_{i-1}, c_i) is the half-open window check.
+        if owner > 0:
+            assert cuts[owner - 1] <= t
+        if owner < len(cuts):
+            assert t < cuts[owner]
+
+    @given(cuts=cut_lists, a=instants, b=instants)
+    @settings(max_examples=200, deadline=None)
+    def test_owner_is_monotone(self, cuts, a, b):
+        partition = TimePartition(cuts)
+        if a <= b:
+            assert partition.owner(a) <= partition.owner(b)
+
+    def test_cut_point_belongs_to_the_shard_starting_there(self):
+        partition = TimePartition((10, 20))
+        assert partition.owner(9) == 0
+        assert partition.owner(10) == 1
+        assert partition.owner(19) == 1
+        assert partition.owner(20) == 2
+
+    def test_windows_tile_the_axis(self):
+        partition = TimePartition((0, 10))
+        assert partition.window(0) == Interval(-INF, 0)
+        assert partition.window(1) == Interval(0, 10)
+        assert partition.window(2) == Interval(10, INF)
+
+    @given(
+        cuts=cut_lists,
+        lo=st.integers(min_value=-150, max_value=150),
+        width=st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shard_range_is_exactly_the_owners_inside_the_interval(
+        self, cuts, lo, width
+    ):
+        partition = TimePartition(cuts)
+        interval = Interval(lo, lo + width)
+        first, last = partition.shard_range(interval)
+        assert first == partition.owner(interval.lo)
+        assert last == partition.owner(interval.hi)
+        assert first <= last
+        # Every cut strictly inside the interval advances the shard range.
+        inside = [c for c in cuts if interval.lo < c <= interval.hi]
+        assert last - first == len(inside)
+
+    def test_unbounded_interval_spans_all_shards(self):
+        partition = TimePartition((0, 10))
+        assert partition.shard_range(Interval.always()) == (0, 2)
+
+
+class TestPartitionTimeline:
+    def test_one_shard_requested(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=10)
+        assert partition_timeline(db, 1).n_shards == 1
+
+    def test_invalid_shard_count(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=4)
+        with pytest.raises(QueryError):
+            partition_timeline(db, 0)
+
+    def test_empty_database_degrades_to_one_shard(self):
+        rel = TemporalRelation("R1", ("a", "b"))
+        assert partition_timeline({"R1": rel}, 4).n_shards == 1
+
+    def test_identical_endpoints_degrade_to_one_shard(self):
+        rel = TemporalRelation(
+            "R1", ("a", "b"), [((i, i), (5, 5)) for i in range(10)]
+        )
+        assert partition_timeline({"R1": rel}, 4).n_shards == 1
+
+    def test_always_tuples_are_ignored_for_cuts(self):
+        rel = TemporalRelation(
+            "R1", ("a", "b"),
+            [((0, 0), Interval.always()), ((1, 1), (0, 1)), ((2, 2), (10, 11))],
+        )
+        partition = partition_timeline({"R1": rel}, 2)
+        assert partition.n_shards == 2
+        assert all(c not in (-INF, INF) for c in partition.cuts)
+
+    def test_endpoint_balance_under_skew(self):
+        # 100 tuples crammed into [0, 10], 4 tuples spread to 1000: a
+        # width-balanced split would put ~all endpoints in shard 0.
+        rows = [((i, i), (i % 10, i % 10 + 1)) for i in range(100)]
+        rows += [((100 + i, 100 + i), (900 + i, 1000)) for i in range(4)]
+        db = {"R1": TemporalRelation("R1", ("a", "b"), rows)}
+        partition = partition_timeline(db, 4)
+        endpoints = collect_endpoints(db)
+        counts = [0] * partition.n_shards
+        for t in endpoints:
+            counts[partition.owner(t)] += 1
+        assert partition.n_shards >= 3
+        assert max(counts) <= len(endpoints) / 2
+
+    def test_requested_shards_upper_bounds_effective(self, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=15)
+        for p in (2, 3, 7):
+            assert partition_timeline(db, p).n_shards <= p
+
+
+class TestShardDatabases:
+    def test_every_shard_has_every_relation(self, rng):
+        q = JoinQuery.line(3)
+        db = random_database(q, rng, n=12)
+        partition = partition_timeline(db, 3)
+        shard_dbs = shard_databases(db, partition)
+        assert len(shard_dbs) == partition.n_shards
+        for shard_db in shard_dbs:
+            assert set(shard_db) == set(db)
+            q.validate(shard_db)
+
+    def test_rows_assigned_to_overlapping_shards_only(self, rng):
+        q = JoinQuery.line(2)
+        db = random_database(q, rng, n=20)
+        partition = partition_timeline(db, 4)
+        shard_dbs = shard_databases(db, partition)
+        for name, rel in db.items():
+            for values, interval in rel:
+                first, last = partition.shard_range(interval)
+                for shard, shard_db in enumerate(shard_dbs):
+                    present = any(
+                        v == values for v, _ in shard_db[name].rows
+                    )
+                    assert present == (first <= shard <= last)
+
+    def test_replication_factor(self):
+        rows = [((0, 0), (0, 100)), ((1, 1), (0, 10)), ((2, 2), (90, 100))]
+        db = {"R1": TemporalRelation("R1", ("a", "b"), rows)}
+        partition = TimePartition((50,))
+        shard_dbs = shard_databases(db, partition)
+        total, replicated = replication_factor(db, shard_dbs)
+        assert total == 3
+        assert replicated == 1  # only the [0, 100] tuple straddles the cut
