@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint bench bench-smoke examples figures clean
+.PHONY: install test lint analyze bench bench-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -8,12 +8,23 @@ install:
 test:
 	pytest tests/
 
+# Style lint (ruff). A missing ruff is an error, not a silent skip —
+# set REPRO_LINT_OPTIONAL=1 to opt out (e.g. minimal local setups).
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
+	elif [ -n "$$REPRO_LINT_OPTIONAL" ]; then \
+		echo "ruff not installed; skipping lint (REPRO_LINT_OPTIONAL set)"; \
 	else \
-		echo "ruff not installed; skipping lint (pip install ruff)"; \
+		echo "error: ruff is not installed. Run 'pip install -e .[dev]'" \
+		     "or set REPRO_LINT_OPTIONAL=1 to skip." >&2; \
+		exit 1; \
 	fi
+
+# Domain lint + static analysis (repro-lint). Writes the JSON report CI
+# uploads as an artifact; exits non-zero on any non-baselined finding.
+analyze:
+	PYTHONPATH=src python -m repro.analysis src --format=json --out repro-lint-report.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -20,6 +20,7 @@ import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.durability import shrink_database
+from ..core.errors import InvariantError, QueryError
 from ..core.interval import Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
@@ -47,7 +48,12 @@ def choose_join_order(
             if cost < best_cost:
                 best_cost = cost
                 best_order = order
-        assert best_order is not None
+        if best_order is None:
+            raise InvariantError(
+                "join-order search produced no candidate order for "
+                f"{names}: _connected_orders must yield at least one "
+                "permutation"
+            )
         return best_order
     return _greedy_order(query, database, names)
 
@@ -163,7 +169,7 @@ def baseline_join(
         with stats.timer("phase.order_search"):
             join_order = choose_join_order(query, db)
     if sorted(join_order) != sorted(query.edge_names):
-        raise ValueError(
+        raise QueryError(
             f"join order {join_order} must be a permutation of {query.edge_names}"
         )
     joins_start = time.perf_counter()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
+from ..core.errors import QueryError
 from ..core.hypergraph import Hypergraph
 from ..core.interval import Interval
 from ..core.query import JoinQuery
@@ -117,7 +118,7 @@ def counterpart_instance(
         rows = []
         for values, interval in rel:
             if not interval.is_instant:
-                raise ValueError(
+                raise QueryError(
                     f"counterpart translation needs instant stamps in {name!r}, "
                     f"found {interval!r}"
                 )

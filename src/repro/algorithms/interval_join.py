@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple, TypeVar
 
+from ..core.errors import QueryError
 from ..core.interval import Interval
 from ..datastructures.interval_tree import StaticIntervalTree
 
@@ -139,7 +140,7 @@ def interval_join(
     try:
         fn = JOIN_STRATEGIES[strategy]
     except KeyError:
-        raise ValueError(
+        raise QueryError(
             f"unknown interval join strategy {strategy!r}; "
             f"choose from {sorted(JOIN_STRATEGIES)}"
         ) from None

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Mapping, Optional, Protocol, Tuple
 
 from ..core.durability import shrink_database
+from ..core.errors import InvariantError
 from ..core.interval import Interval, Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
@@ -162,5 +163,5 @@ def timefirst_join(
 
     result = sweep(run_query, run_db, state, stats=stats)
     if tuple(result.attrs) != tuple(query.attrs):  # pragma: no cover - defensive
-        raise AssertionError("sweep returned unexpected attribute layout")
+        raise InvariantError("sweep returned unexpected attribute layout")
     return result.expand_intervals(tau / 2 if tau else 0)

@@ -1,0 +1,70 @@
+"""``repro.analysis`` — domain-invariant static analysis for this repo.
+
+Two halves:
+
+* **repro-lint** (:mod:`engine` + :mod:`rules`): an AST-based lint engine
+  with a registry of domain rules that encode the structural conventions
+  the paper's guarantees rest on — no bare ``assert`` in library code,
+  spawn-safe worker payloads, deterministic iteration on result-producing
+  paths, the ``stats=`` telemetry contract, paired tracer phases, the
+  ``repro.core.errors`` taxonomy, no exact equality on computed interval
+  endpoints, no mutable defaults. Run it as ``python -m repro.analysis``;
+  CI gates on it (``make analyze``).
+
+* **static plan verification** (:mod:`plans`): structural validation of
+  :class:`~repro.nontemporal.ghd.GHD`,
+  :class:`~repro.core.classification.AttributeTree` and
+  :class:`~repro.core.planner.Plan` objects — bag coverage, running
+  intersection, hierarchical attribute order, Theorem 12 width
+  accounting. Hooked into ``planner.plan()`` under ``REPRO_VERIFY_PLANS``
+  and into the Figure 6 tests.
+
+Findings can be silenced inline (``# repro-lint: disable=<rule>``) or
+grandfathered in the committed JSON baseline
+(:data:`~repro.analysis.engine.DEFAULT_BASELINE_NAME`).
+"""
+
+from .engine import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+    Finding,
+    LintReport,
+    Rule,
+    SourceFile,
+    lint_source,
+    run_lint,
+)
+from .plans import (
+    PlanVerificationError,
+    check_attribute_tree,
+    check_ghd,
+    check_plan,
+    verify_attribute_tree,
+    verify_ghd,
+    verify_plan,
+)
+from .report import render_json, render_text
+from .rules import default_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "PlanVerificationError",
+    "Rule",
+    "SourceFile",
+    "check_attribute_tree",
+    "check_ghd",
+    "check_plan",
+    "default_rules",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "verify_attribute_tree",
+    "verify_ghd",
+    "verify_plan",
+]

@@ -1,0 +1,128 @@
+"""CLI for ``repro-lint``: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — no actionable findings; 1 — at least one finding that is
+neither suppressed inline nor covered by the baseline; 2 — usage error.
+
+The baseline defaults to ``.repro-lint-baseline.json`` in the current
+directory when present (the committed repo baseline); ``--no-baseline``
+ignores it, ``--write-baseline`` regenerates it from the current
+findings (grandfathering everything — edit the justifications!).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .engine import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    run_lint,
+)
+from .report import render_json, render_text
+from .rules import default_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: domain-invariant static analysis for this repo",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the report to FILE (the CI artifact)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id:>24} [{rule.severity}] {rule.description}")
+        return 0
+
+    if args.select:
+        wanted = {name.strip() for name in args.select.split(",") if name.strip()}
+        known = {rule.id for rule in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(
+                f"error: unknown rule(s) {unknown}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if os.path.exists(baseline_path):
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline is not None:
+            print(f"error: baseline {baseline_path!r} not found", file=sys.stderr)
+            return 2
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    report = run_lint(args.paths, rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"wrote {len(report.findings)} entr(ies) to {baseline_path}; "
+            "edit the justifications before committing"
+        )
+        return 0
+
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(
+            f"repro-lint: {len(report.findings)} finding(s) "
+            f"({len(report.baselined)} baselined); report written to {args.out}"
+        )
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

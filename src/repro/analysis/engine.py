@@ -1,0 +1,392 @@
+"""The ``repro-lint`` rule engine: files, suppressions, baseline, runner.
+
+The engine is rule-agnostic: a :class:`Rule` owns an id, a severity, a
+human description, a fix hint, a *scope* predicate over logical paths and
+a ``check(SourceFile)`` method producing :class:`Finding` objects. The
+domain rules live in :mod:`repro.analysis.rules`; the engine only knows
+how to parse files, route them through rules, apply inline suppressions
+and subtract the committed baseline.
+
+Logical vs. filesystem paths
+----------------------------
+Every :class:`SourceFile` carries a *logical* path (forward slashes,
+relative style) used by scope predicates and baseline matching. Tests
+lint in-memory snippets under invented logical paths such as
+``src/repro/algorithms/fixture.py`` so path-scoped rules fire without a
+real tree on disk.
+
+Suppressions
+------------
+``# repro-lint: disable=<rule>[,<rule>...]`` on a line silences those
+rules (or ``all``) for findings *on that physical line*;
+``# repro-lint: disable-file=<rule>[,...]`` anywhere in the file
+silences them for the whole file. Suppressions are meant for findings
+whose justification reads best next to the code; repo-wide grandfathered
+findings belong in the JSON baseline, which keeps a justification string
+per entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Default baseline filename, looked up in the current directory by the CLI.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_MARKER = "# repro-lint:"
+
+SEVERITIES = ("error", "warning")
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, addressable by ``(rule, path, line)``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, int]:
+        return (self.rule, normalize_path(self.path), self.line)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": normalize_path(self.path),
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def normalize_path(path: str) -> str:
+    """Forward slashes, no leading ``./`` — the baseline/scope spelling."""
+    out = path.replace(os.sep, "/").replace("\\", "/")
+    while out.startswith("./"):
+        out = out[2:]
+    return out
+
+
+def path_segments(logical: str) -> Tuple[str, ...]:
+    """Split a logical path into segments for scope predicates."""
+    return tuple(s for s in normalize_path(logical).split("/") if s)
+
+
+# ----------------------------------------------------------------------
+# Source files
+# ----------------------------------------------------------------------
+class SourceFile:
+    """A parsed module plus everything rules need: AST, lines, parents.
+
+    ``fs_path`` is the real on-disk location (``None`` for in-memory
+    snippets); ``logical`` is the path rules and the baseline see. Parent
+    links are attached to every AST node as ``_repro_parent`` so rules
+    can look outward (e.g. "is this call a ``with`` item?").
+    """
+
+    def __init__(
+        self,
+        source: str,
+        logical: str,
+        fs_path: Optional[str] = None,
+    ) -> None:
+        self.source = source
+        self.logical = normalize_path(logical)
+        self.fs_path = fs_path
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.logical)
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                child._repro_parent = parent  # type: ignore[attr-defined]
+        self._line_disables: Dict[int, Set[str]] = {}
+        self._file_disables: Set[str] = set()
+        self._parse_suppressions()
+
+    # ------------------------------------------------------------------
+    def _parse_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            pos = text.find(_MARKER)
+            if pos < 0:
+                continue
+            directive = text[pos + len(_MARKER):].strip()
+            if directive.startswith("disable-file="):
+                names = directive[len("disable-file="):]
+                self._file_disables.update(
+                    n.strip() for n in names.split(",") if n.strip()
+                )
+            elif directive.startswith("disable="):
+                names = directive[len("disable="):]
+                self._line_disables.setdefault(lineno, set()).update(
+                    n.strip() for n in names.split(",") if n.strip()
+                )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_disables or "all" in self._file_disables:
+            return True
+        disabled = self._line_disables.get(line, ())
+        return rule_id in disabled or "all" in disabled
+
+    # ------------------------------------------------------------------
+    def segments(self) -> Tuple[str, ...]:
+        return path_segments(self.logical)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` for ``rule``."""
+        return Finding(
+            rule=rule.id,
+            path=self.logical,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=rule.severity,
+            hint=rule.hint if hint is None else hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class for lint rules (subclasses live in ``rules.py``).
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies` restricts a rule to part of the tree by logical path.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    hint: str = ""
+
+    def applies(self, logical: str) -> bool:
+        return True
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, with the reason it is tolerated."""
+
+    rule: str
+    path: str
+    line: int
+    justification: str = ""
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, int]:
+        return (self.rule, normalize_path(self.path), self.line)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": normalize_path(self.path),
+            "line": self.line,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @staticmethod
+    def load(path: str) -> "Baseline":
+        with open(path, "r") as handle:
+            data = json.load(handle)
+        entries = [
+            BaselineEntry(
+                rule=e["rule"],
+                path=e["path"],
+                line=int(e["line"]),
+                justification=e.get("justification", ""),
+            )
+            for e in data.get("entries", [])
+        ]
+        return Baseline(entries)
+
+    def save(self, path: str) -> None:
+        data = {
+            "version": 1,
+            "comment": (
+                "Grandfathered repro-lint findings. Remove entries as the "
+                "underlying findings are fixed; add entries only with a "
+                "justification."
+            ),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def fingerprints(self) -> Set[Tuple[str, str, int]]:
+        return {e.fingerprint for e in self.entries}
+
+    @staticmethod
+    def from_findings(
+        findings: Iterable[Finding],
+        justification: str = "grandfathered by --write-baseline",
+    ) -> "Baseline":
+        return Baseline(
+            [
+                BaselineEntry(
+                    rule=f.rule,
+                    path=normalize_path(f.path),
+                    line=f.line,
+                    justification=justification,
+                )
+                for f in findings
+            ]
+        )
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding]  # actionable: neither suppressed nor baselined
+    baselined: List[Finding]
+    suppressed: int
+    stale_baseline: List[BaselineEntry]
+    files_scanned: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": self.suppressed,
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "exit_code": self.exit_code,
+        }
+
+
+def _iter_python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for root, dirs, files in os.walk(path):
+        dirs[:] = sorted(
+            d
+            for d in dirs
+            if d != "__pycache__" and not d.startswith(".") and not d.endswith(".egg-info")
+        )
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def _syntax_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="syntax-error",
+        path=normalize_path(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+        severity="error",
+        hint="repro-lint needs a parseable module",
+    )
+
+
+def _lint_one(sf: SourceFile, rules: Sequence[Rule]) -> Tuple[List[Finding], int]:
+    """Findings for one file plus the number suppressed inline."""
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies(sf.logical):
+            continue
+        for finding in rule.check(sf):
+            if sf.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def lint_source(
+    source: str,
+    logical: str,
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Lint one in-memory snippet under a logical path (test entry point)."""
+    try:
+        sf = SourceFile(source, logical)
+    except SyntaxError as exc:
+        return [_syntax_error_finding(logical, exc)]
+    findings, _ = _lint_one(sf, rules)
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and fold in the baseline."""
+    findings: List[Finding] = []
+    suppressed = 0
+    files_scanned = 0
+    for path in paths:
+        for fs_path in _iter_python_files(path):
+            files_scanned += 1
+            try:
+                with open(fs_path, "r") as handle:
+                    source = handle.read()
+                sf = SourceFile(source, logical=fs_path, fs_path=fs_path)
+            except SyntaxError as exc:
+                findings.append(_syntax_error_finding(fs_path, exc))
+                continue
+            file_findings, file_suppressed = _lint_one(sf, rules)
+            findings.extend(file_findings)
+            suppressed += file_suppressed
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    known = baseline.fingerprints() if baseline is not None else set()
+    actionable = [f for f in findings if f.fingerprint not in known]
+    grandfathered = [f for f in findings if f.fingerprint in known]
+    seen = {f.fingerprint for f in findings}
+    stale = (
+        [e for e in baseline.entries if e.fingerprint not in seen]
+        if baseline is not None
+        else []
+    )
+    return LintReport(
+        findings=actionable,
+        baselined=grandfathered,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_scanned=files_scanned,
+    )

@@ -1,0 +1,282 @@
+"""Static verification of GHDs, attribute trees and planner outputs.
+
+The paper's complexity guarantees are conditional on structure:
+
+* Theorem 9/12 need the GHD to *be* a GHD — every query edge covered by
+  some bag, and the bag tree satisfying the running-intersection
+  property (Definition 7);
+* Theorem 6 needs the attribute tree to respect the hierarchical order
+  (``E_x ⊆ E_y`` along every root-to-leaf path, relations appearing as
+  complete root paths);
+* the planner's reported ``exponent`` must equal the Theorem 12 bound
+  ``min(fhtw + 1, hhtw)`` or the EXPLAIN output lies about the paper's
+  prediction.
+
+``check_*`` functions return a list of human-readable issue strings
+(empty = structurally sound); ``verify_*`` wrappers raise
+:class:`PlanVerificationError` listing every issue at once.
+:func:`repro.core.planner.plan` calls :func:`verify_plan` when the
+``REPRO_VERIFY_PLANS`` environment variable is truthy (or ``verify=True``
+is passed), and the Figure 6 tests verify every pinned decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..core.errors import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - import-time cycle avoidance
+    from ..core.classification import AttributeTree
+    from ..core.planner import Plan
+    from ..nontemporal.ghd import GHD
+
+
+class PlanVerificationError(PlanError):
+    """A plan/decomposition failed static structural verification."""
+
+
+def _raise(kind: str, issues: List[str]) -> None:
+    detail = "\n".join(f"  - {issue}" for issue in issues)
+    raise PlanVerificationError(
+        f"{kind} failed static verification ({len(issues)} issue(s)):\n{detail}"
+    )
+
+
+# ----------------------------------------------------------------------
+# GHDs (Definition 7)
+# ----------------------------------------------------------------------
+def check_ghd(ghd: "GHD") -> List[str]:
+    """Structural issues of a GHD: coverage, tree shape, running intersection."""
+    from ..core.hypergraph import verify_join_tree
+
+    issues: List[str] = []
+    hg = ghd.query
+    bag_names = set(ghd.bags)
+
+    if not ghd.bags:
+        return ["GHD has no bags"]
+
+    for bag, lam in ghd.bags.items():
+        if not lam:
+            issues.append(f"bag {bag!r} is empty")
+        if len(set(lam)) != len(lam):
+            issues.append(f"bag {bag!r} repeats attributes: {lam}")
+        unknown = [a for a in lam if a not in set(hg.attrs)]
+        if unknown:
+            issues.append(f"bag {bag!r} labels unknown attributes {unknown}")
+
+    # Edge coverage: every query edge inside some bag (Definition 7(i)).
+    for name in hg.edge_names:
+        eattrs = set(hg.edge(name))
+        if not any(eattrs <= set(lam) for lam in ghd.bags.values()):
+            issues.append(f"edge {name!r} ({sorted(eattrs)}) is covered by no bag")
+
+    # Parent map shape.
+    if set(ghd.parent) != bag_names:
+        issues.append(
+            f"parent map keys {sorted(ghd.parent)} != bags {sorted(bag_names)}"
+        )
+    else:
+        for bag, par in ghd.parent.items():
+            if par is not None and par not in bag_names:
+                issues.append(f"bag {bag!r} has unknown parent {par!r}")
+        # Running intersection (Definition 7(ii)) via the existing checker.
+        if not verify_join_tree(ghd.bag_hypergraph(), ghd.parent):
+            issues.append(
+                "bag tree violates the running-intersection property "
+                "(some attribute's bags are not connected)"
+            )
+
+    # Home groups: every edge homed exactly once, inside a covering bag.
+    homed: List[str] = []
+    for bag, edges in ghd.groups.items():
+        if bag not in bag_names:
+            issues.append(f"group for unknown bag {bag!r}")
+            continue
+        lam = set(ghd.bags[bag])
+        for name in edges:
+            homed.append(name)
+            if name not in set(hg.edge_names):
+                issues.append(f"group of bag {bag!r} homes unknown edge {name!r}")
+            elif not set(hg.edge(name)) <= lam:
+                issues.append(
+                    f"edge {name!r} homed at bag {bag!r} but not covered by it"
+                )
+    if sorted(homed) != sorted(hg.edge_names):
+        issues.append(
+            f"home groups must partition the edge set: homed {sorted(homed)}, "
+            f"edges {sorted(hg.edge_names)}"
+        )
+
+    return issues
+
+
+def verify_ghd(ghd: "GHD") -> "GHD":
+    """Raise :class:`PlanVerificationError` unless ``ghd`` is structurally sound."""
+    issues = check_ghd(ghd)
+    if issues:
+        _raise(f"GHD {ghd.pretty()}", issues)
+    return ghd
+
+
+# ----------------------------------------------------------------------
+# Attribute trees (Section 3.2 / Figure 5)
+# ----------------------------------------------------------------------
+def check_attribute_tree(tree: "AttributeTree") -> List[str]:
+    """Structural issues of an attribute tree: order, paths, relation leaves."""
+    issues: List[str] = []
+    hg = tree.hypergraph
+    nodes = tree.nodes
+
+    roots = [n for n in nodes if n.parent is None]
+    if len(roots) != 1:
+        issues.append(f"expected exactly one root, found {len(roots)}")
+
+    for node in nodes:
+        # Parent/children symmetry.
+        if node.parent is not None:
+            parent = nodes[node.parent]
+            if node.node_id not in parent.children:
+                issues.append(
+                    f"node {node.node_id} not listed among parent "
+                    f"{parent.node_id}'s children"
+                )
+            # V_u layout: attribute nodes extend V_parent by their own
+            # attribute; relation leaves repeat V_parent.
+            if node.attr is not None:
+                if node.path_attrs != parent.path_attrs + (node.attr,):
+                    issues.append(
+                        f"node {node.node_id} path {node.path_attrs} is not "
+                        f"parent path {parent.path_attrs} + ({node.attr!r},)"
+                    )
+            elif node.path_attrs != parent.path_attrs:
+                issues.append(
+                    f"relation leaf {node.node_id} path {node.path_attrs} "
+                    f"differs from parent path {parent.path_attrs}"
+                )
+        for child in node.children:
+            if not (0 <= child < len(nodes)) or nodes[child].parent != node.node_id:
+                issues.append(
+                    f"child link {node.node_id} -> {child} has no matching parent link"
+                )
+
+        # Hierarchical order: E_x ⊆ E_y for attribute child x of attribute
+        # parent y (the containment Figure 5's construction sorts by).
+        if node.attr is not None and node.parent is not None:
+            parent = nodes[node.parent]
+            if parent.attr is not None:
+                ex = hg.edges_of(node.attr)
+                ey = hg.edges_of(parent.attr)
+                if not set(ex) <= set(ey):
+                    issues.append(
+                        f"hierarchical order violated: E_{node.attr} = "
+                        f"{sorted(ex)} is not contained in E_{parent.attr} "
+                        f"= {sorted(ey)}"
+                    )
+
+    # Every relation is a root-to-leaf path: its leaf's V equals its edge.
+    for name in hg.edge_names:
+        leaf_id = tree.leaf_of_relation.get(name)
+        if leaf_id is None:
+            issues.append(f"relation {name!r} has no leaf in the tree")
+            continue
+        leaf = nodes[leaf_id]
+        if leaf.relation != name:
+            issues.append(
+                f"leaf {leaf_id} registered for {name!r} carries relation "
+                f"{leaf.relation!r}"
+            )
+        if set(leaf.path_attrs) != set(hg.edge(name)):
+            issues.append(
+                f"relation {name!r}: leaf path {leaf.path_attrs} != edge "
+                f"attributes {hg.edge(name)}"
+            )
+        if leaf.children:
+            issues.append(f"relation leaf {leaf_id} ({name!r}) has children")
+
+    return issues
+
+
+def verify_attribute_tree(tree: "AttributeTree") -> "AttributeTree":
+    """Raise :class:`PlanVerificationError` unless ``tree`` is sound."""
+    issues = check_attribute_tree(tree)
+    if issues:
+        _raise(f"attribute tree of {tree.hypergraph!r}", issues)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Planner outputs (Figure 7 / Theorem 12)
+# ----------------------------------------------------------------------
+def check_plan(plan: "Plan") -> List[str]:
+    """Width-accounting and applicability issues of a planner decision."""
+    from ..core.classification import QueryClass, classify
+    from ..nontemporal.ghd import fhtw, find_guarded_partition, hhtw
+
+    issues: List[str] = []
+    hg = plan.query.hypergraph
+
+    qclass = classify(hg)
+    if qclass is not plan.query_class:
+        issues.append(
+            f"plan records class {plan.query_class.value!r} but the query "
+            f"classifies as {qclass.value!r}"
+        )
+
+    f = fhtw(hg)
+    h = hhtw(hg)
+    if plan.fhtw != f:
+        issues.append(f"plan records fhtw={plan.fhtw:g}, recomputed {f:g}")
+    if plan.hhtw != h:
+        issues.append(f"plan records hhtw={plan.hhtw:g}, recomputed {h:g}")
+    if f > h:
+        issues.append(f"fhtw={f:g} exceeds hhtw={h:g} (restricted search)")
+
+    # Theorem 12 accounting: the reported exponent must be the bound the
+    # chosen strategy family actually guarantees.
+    expected = min(f + 1.0, h)
+    if qclass in (QueryClass.HIERARCHICAL, QueryClass.R_HIERARCHICAL):
+        expected = 1.0
+    elif qclass is QueryClass.ACYCLIC:
+        # fhtw = 1 for acyclic queries; Corollary 10's N^2 dominates hhtw
+        # when a merged hierarchical GHD is wider.
+        expected = min(f + 1.0, max(h, 2.0))
+    if plan.exponent != expected:
+        issues.append(
+            f"exponent {plan.exponent:g} != min(fhtw+1, hhtw) accounting "
+            f"({expected:g} for class {qclass.value!r}, fhtw={f:g}, hhtw={h:g})"
+        )
+
+    guarded = find_guarded_partition(hg) is not None
+    if plan.guarded != guarded:
+        issues.append(
+            f"plan says guarded={plan.guarded} but find_guarded_partition "
+            f"says {guarded}"
+        )
+
+    known = {
+        "timefirst", "timefirst-cm", "hybrid", "hybrid-interval",
+        "baseline", "joinfirst", "naive",
+    }
+    for name in [plan.algorithm, *plan.alternatives]:
+        if name not in known:
+            issues.append(f"unknown algorithm {name!r} in plan")
+    if plan.algorithm in plan.alternatives:
+        issues.append(f"primary algorithm {plan.algorithm!r} repeated in alternatives")
+    if plan.algorithm == "hybrid-interval" and not guarded:
+        issues.append("hybrid-interval chosen without a guarded partition")
+    if plan.algorithm == "timefirst-cm" and qclass not in (
+        QueryClass.HIERARCHICAL, QueryClass.R_HIERARCHICAL
+    ):
+        issues.append("timefirst-cm chosen for a non-(r-)hierarchical query")
+
+    return issues
+
+
+def verify_plan(plan: "Plan") -> "Plan":
+    """Raise :class:`PlanVerificationError` unless ``plan`` is consistent."""
+    issues = check_plan(plan)
+    if issues:
+        _raise(f"plan for {plan.query!r}", issues)
+    return plan

@@ -1,0 +1,33 @@
+"""Text and JSON reporters for :class:`~repro.analysis.engine.LintReport`."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable findings listing plus a one-line summary."""
+    lines = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.severity}] {f.message}")
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    for entry in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.rule} at {entry.path}:{entry.line} "
+            "no longer matches any finding — remove it"
+        )
+    summary = (
+        f"repro-lint: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed, "
+        f"{report.files_scanned} file(s) scanned"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    return json.dumps(report.to_dict(), indent=2) + "\n"

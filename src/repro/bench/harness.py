@@ -26,7 +26,7 @@ from ..algorithms.registry import (
     strip_unsupported_kwargs,
     temporal_join,
 )
-from ..core.errors import ReproError
+from ..core.errors import InvariantError, ReproError
 from ..core.interval import Number
 from ..core.query import JoinQuery
 from ..core.relation import TemporalRelation
@@ -101,7 +101,11 @@ def measure(
         start = time.perf_counter()
         result = run()
         best = min(best, time.perf_counter() - start)
-    assert result is not None
+    if result is None:
+        raise InvariantError(
+            "measure() ran zero repetitions; repeat is clamped to >= 1, "
+            "so a missing result means the timing loop is broken"
+        )
 
     peak = 0
     if measure_memory:

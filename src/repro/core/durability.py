@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+from .errors import QueryError
 from .interval import Interval, IntervalSet, Number, intersect_all
 from .relation import TemporalRelation
 from .result import JoinResultSet
@@ -40,7 +41,7 @@ def shrink_database(database: Database, tau: Number) -> Dict[str, TemporalRelati
     shallow-copied) because the shrink is the identity.
     """
     if tau < 0:
-        raise ValueError(f"durability threshold must be >= 0, got {tau}")
+        raise QueryError(f"durability threshold must be >= 0, got {tau}")
     if tau == 0:
         return dict(database)
     half = tau / 2

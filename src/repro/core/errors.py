@@ -42,3 +42,13 @@ class PlanError(ReproError):
 
 class IntervalError(ReproError):
     """An interval literal is malformed (e.g. lower bound above upper)."""
+
+
+class InvariantError(ReproError):
+    """An internal invariant the algorithms rely on was violated.
+
+    The taxonomy's replacement for bare ``assert`` in library code:
+    unlike ``assert``, the check survives ``python -O``, and callers can
+    still catch :class:`ReproError` at API boundaries. Seeing this
+    exception always indicates a bug in the library, never bad input.
+    """

@@ -57,7 +57,12 @@ def _parse_time(token: str) -> Number:
     except ValueError:
         value = float(token)  # may raise ValueError: caller adds context
     if math.isnan(value):
-        raise ValueError(f"NaN is not a valid interval endpoint: {token!r}")
+        # Internal control flow: read_relation_csv catches ValueError and
+        # re-raises SchemaError with path:lineno context, matching the
+        # ValueError float() raises two lines up for garbage tokens.
+        raise ValueError(  # repro-lint: disable=error-taxonomy
+            f"NaN is not a valid interval endpoint: {token!r}"
+        )
     return value
 
 

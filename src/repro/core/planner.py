@@ -19,6 +19,7 @@ rendering used by the Table 1 bench.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -58,8 +59,17 @@ class Plan:
         return "\n".join(lines)
 
 
-def plan(query: JoinQuery) -> Plan:
-    """Run the Figure 7 guideline on ``query`` (O(1) data complexity)."""
+def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
+    """Run the Figure 7 guideline on ``query`` (O(1) data complexity).
+
+    With ``verify=True`` — or the ``REPRO_VERIFY_PLANS`` environment
+    variable set to a non-empty value — the returned plan is passed
+    through the static verifier (:func:`repro.analysis.plans.verify_plan`)
+    before being handed back: width accounting, class consistency and
+    algorithm applicability are re-derived and any mismatch raises
+    :class:`~repro.analysis.plans.PlanVerificationError`. The debug flag
+    costs one extra width search per call, so it defaults to off.
+    """
     from ..nontemporal.ghd import fhtw, find_guarded_partition, hhtw
 
     qclass = classify(query.hypergraph)
@@ -104,7 +114,7 @@ def plan(query: JoinQuery) -> Plan:
             alternatives.append("hybrid-interval")
             notes.append("guarded simplification applies to the GHD")
 
-    return Plan(
+    result = Plan(
         query=query,
         query_class=qclass,
         algorithm=algorithm,
@@ -115,3 +125,10 @@ def plan(query: JoinQuery) -> Plan:
         guarded=guarded,
         notes=notes,
     )
+    if verify is None:
+        verify = bool(os.environ.get("REPRO_VERIFY_PLANS"))
+    if verify:
+        from ..analysis.plans import verify_plan
+
+        verify_plan(result)
+    return result

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .errors import SchemaError
 from .interval import Interval, Number
 
 ResultRow = Tuple[Tuple[object, ...], Interval]
@@ -131,7 +132,7 @@ def merge_result_sets(
     out = JoinResultSet(attrs)
     for part in parts:
         if tuple(part.attrs) != tuple(attrs):
-            raise ValueError(
+            raise SchemaError(
                 f"cannot merge results with layout {part.attrs} into {attrs}"
             )
         out.extend(part.rows)

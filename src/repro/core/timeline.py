@@ -25,6 +25,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+from .errors import SchemaError
 from .interval import Interval, Number
 from .result import JoinResultSet
 
@@ -48,7 +49,7 @@ class Timeline:
         if len(self.points) != len(self.at_points) or (
             self.points and len(self.between) != len(self.points)
         ):
-            raise ValueError("points / at_points / between must align")
+            raise SchemaError("points / at_points / between must align")
 
     # ------------------------------------------------------------------
     def value_at(self, t: Number) -> float:

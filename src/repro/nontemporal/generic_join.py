@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.errors import InvariantError
 from ..core.hypergraph import Hypergraph
 from ..core.relation import TemporalRelation
 from ..datastructures.trie import RelationTrie
@@ -149,7 +150,11 @@ def generic_join_with_order(
                 best_idx = i
         driver_plan, driver_prefix = prefixes[best_idx]
         candidates = driver_plan.trie.candidate_values(driver_prefix)
-        assert candidates is not None
+        if candidates is None:
+            raise InvariantError(
+                "trie returned no candidate node for a prefix whose "
+                "candidate_count was positive; trie state is inconsistent"
+            )
         others = [prefixes[i] for i in range(len(prefixes)) if i != best_idx]
         for value in candidates:
             ok = True

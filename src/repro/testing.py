@@ -78,15 +78,16 @@ def differential_check(
     algorithms: Sequence[str] = ("timefirst", "baseline", "hybrid", "joinfirst"),
     tau: float = 0,
 ) -> None:
-    """Assert that every listed algorithm matches the brute-force oracle.
+    """Check that every listed algorithm matches the brute-force oracle.
 
-    Raises :class:`AssertionError` naming the first diverging algorithm.
-    Algorithms that are structurally inapplicable (``PlanError``) are
-    skipped.
+    Raises :class:`~repro.core.errors.InvariantError` naming the first
+    diverging algorithm (an exception rather than ``assert`` so the check
+    holds under ``python -O`` too). Algorithms that are structurally
+    inapplicable (``PlanError``) are skipped.
     """
     from .algorithms.naive import naive_join
     from .algorithms.registry import temporal_join
-    from .core.errors import PlanError
+    from .core.errors import InvariantError, PlanError
 
     want = naive_join(query, database, tau=tau).normalized()
     for algorithm in algorithms:
@@ -94,6 +95,7 @@ def differential_check(
             got = temporal_join(query, database, tau=tau, algorithm=algorithm)
         except PlanError:
             continue
-        assert got.normalized() == want, (
-            f"{algorithm} diverges from the oracle on {query!r} (tau={tau})"
-        )
+        if got.normalized() != want:
+            raise InvariantError(
+                f"{algorithm} diverges from the oracle on {query!r} (tau={tau})"
+            )

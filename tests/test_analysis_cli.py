@@ -1,0 +1,123 @@
+"""Tests for ``python -m repro.analysis`` (exit codes, formats, baseline
+workflow) plus the acceptance gate: the repo itself lints clean."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    target = tmp_path / "lib"
+    target.mkdir()
+    (target / "mod.py").write_text(
+        "def f(x):\n    assert x\n    return x\n"
+    )
+    return target
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "no-bare-assert" in out
+        assert "1 finding(s)" in out
+
+    def test_clean_tree_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(x):\n    return x\n")
+        assert main([str(tmp_path), "--no-baseline"]) == 0
+
+    def test_missing_path_exit_two(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_unknown_rule_exit_two(self, bad_tree):
+        assert main([str(bad_tree), "--select", "no-such-rule"]) == 2
+
+    def test_missing_explicit_baseline_exit_two(self, bad_tree, tmp_path):
+        missing = tmp_path / "nothing.json"
+        assert main([str(bad_tree), "--baseline", str(missing)]) == 2
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ["no-bare-assert", "spawn-safety", "determinism",
+                        "stats-contract", "paired-tracer-phases",
+                        "error-taxonomy", "float-endpoint-equality",
+                        "no-mutable-default"]:
+            assert rule_id in out
+
+    def test_select_filters_rules(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--no-baseline",
+                     "--select", "determinism"]) == 0
+
+    def test_json_format(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--no-baseline", "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["exit_code"] == 1
+        assert data["findings"][0]["rule"] == "no-bare-assert"
+
+    def test_out_writes_report_file(self, bad_tree, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([str(bad_tree), "--no-baseline", "--format", "json",
+                     "--out", str(report_path)])
+        assert code == 1
+        data = json.loads(report_path.read_text())
+        assert data["findings"][0]["rule"] == "no-bare-assert"
+        assert "report written to" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(bad_tree), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert baseline.exists()
+
+        # Grandfathered finding no longer fails the gate...
+        assert main([str(bad_tree), "--baseline", str(baseline)]) == 0
+        # ...but a fresh finding still does.
+        (bad_tree / "new.py").write_text("def g(y):\n    assert y\n")
+        assert main([str(bad_tree), "--baseline", str(baseline)]) == 1
+
+    def test_stale_entries_reported(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        main([str(bad_tree), "--baseline", str(baseline), "--write-baseline"])
+        (bad_tree / "mod.py").write_text("def f(x):\n    return x\n")
+        assert main([str(bad_tree), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestRepoGate:
+    """The PR acceptance criterion: the repo lints clean at HEAD."""
+
+    def test_src_is_clean_under_committed_baseline(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_committed_baseline_has_justifications(self):
+        path = os.path.join(REPO_ROOT, ".repro-lint-baseline.json")
+        data = json.loads(open(path).read())
+        assert data["version"] == 1
+        for entry in data["entries"]:
+            assert len(entry["justification"]) > 20, entry
+
+    def test_committed_baseline_has_no_stale_entries(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        main(["src", "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["stale_baseline"] == []
+
+    def test_introducing_bad_fixture_fails_gate(self, monkeypatch, tmp_path):
+        """Copy src adding one violation: the gate must flip to red."""
+        monkeypatch.chdir(REPO_ROOT)
+        bad = tmp_path / "planted.py"
+        bad.write_text("def f(x):\n    assert x\n    return x\n")
+        assert main(["src", str(bad)]) == 1

@@ -1,0 +1,212 @@
+"""Tests for the static plan/decomposition verifier (repro.analysis.plans)."""
+
+import pytest
+
+from repro.analysis.plans import (
+    PlanVerificationError,
+    check_attribute_tree,
+    check_ghd,
+    check_plan,
+    verify_attribute_tree,
+    verify_ghd,
+    verify_plan,
+)
+from repro.core.classification import AttributeTree
+from repro.core.planner import plan
+from repro.core.query import JoinQuery
+from repro.nontemporal.ghd import (
+    enumerate_partition_ghds,
+    fhtw_ghd,
+    hhtw_ghd,
+    trivial_ghd,
+)
+
+QUERIES = {
+    "line2": JoinQuery.line(2),
+    "line3": JoinQuery.line(3),
+    "line4": JoinQuery.line(4),
+    "star3": JoinQuery.star(3),
+    "hier": JoinQuery.hier(),
+    "triangle": JoinQuery.triangle(),
+    "bowtie": JoinQuery.bowtie(),
+    "cycle4": JoinQuery.cycle(4),
+    "cycle5": JoinQuery.cycle(5),
+}
+
+
+class TestCheckGHD:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_width_decompositions_verify(self, name):
+        hg = QUERIES[name].hypergraph
+        for _, ghd in (fhtw_ghd(hg), hhtw_ghd(hg)):
+            assert check_ghd(ghd) == []
+            verify_ghd(ghd)  # no raise
+
+    def test_every_enumerated_ghd_verifies(self):
+        hg = JoinQuery.line(3).hypergraph
+        count = 0
+        for ghd in enumerate_partition_ghds(hg):
+            assert check_ghd(ghd) == []
+            count += 1
+        assert count > 1
+
+    def test_coverage_violation_detected(self):
+        ghd = trivial_ghd(JoinQuery.line(3).hypergraph)
+        bag = next(iter(ghd.bags))
+        ghd.bags[bag] = ghd.bags[bag][:1]  # drop an attribute from a bag
+        issues = check_ghd(ghd)
+        assert any("covered by no bag" in i for i in issues)
+        with pytest.raises(PlanVerificationError):
+            verify_ghd(ghd)
+
+    def test_running_intersection_violation_detected(self):
+        # Star bags all share the center: re-rooting is fine, but cutting
+        # the tree into disconnected pieces is not.
+        ghd = trivial_ghd(JoinQuery.line(4).hypergraph)
+        for bag in ghd.parent:
+            ghd.parent[bag] = None  # forest of isolated bags
+        issues = check_ghd(ghd)
+        assert any("running-intersection" in i for i in issues)
+
+    def test_home_group_violations_detected(self):
+        ghd = trivial_ghd(JoinQuery.line(3).hypergraph)
+        bags = list(ghd.groups)
+        moved = ghd.groups[bags[0]].pop()
+        # Edge homed at a bag that does not cover it.
+        other = next(b for b in bags if set(ghd.query.edge(moved)) - set(ghd.bags[b]))
+        ghd.groups[other].append(moved)
+        issues = check_ghd(ghd)
+        assert any("not covered by it" in i for i in issues)
+
+    def test_unhomed_edge_detected(self):
+        ghd = trivial_ghd(JoinQuery.line(3).hypergraph)
+        first = next(iter(ghd.groups))
+        ghd.groups[first] = []
+        issues = check_ghd(ghd)
+        assert any("partition the edge set" in i for i in issues)
+
+    def test_parent_map_shape_checked(self):
+        ghd = trivial_ghd(JoinQuery.line(3).hypergraph)
+        ghd.parent["ghost"] = None
+        assert any("parent map keys" in i for i in check_ghd(ghd))
+
+
+class TestCheckAttributeTree:
+    @pytest.mark.parametrize("name", ["line2", "star3", "hier"])
+    def test_hierarchical_trees_verify(self, name):
+        tree = AttributeTree(QUERIES[name].hypergraph)
+        assert check_attribute_tree(tree) == []
+        verify_attribute_tree(tree)  # no raise
+
+    def test_tampered_path_detected(self):
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        node = next(n for n in tree.nodes if n.attr is not None)
+        node.path_attrs = node.path_attrs + ("bogus",)
+        issues = check_attribute_tree(tree)
+        assert issues
+
+    def test_hierarchical_order_violation_detected(self):
+        # Swap a parent/child attribute pair: E_child ⊆ E_parent breaks.
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        child = next(
+            n for n in tree.nodes
+            if n.attr is not None
+            and n.parent is not None
+            and tree.nodes[n.parent].attr is not None
+            and tree.hypergraph.edges_of(n.attr)
+            < tree.hypergraph.edges_of(tree.nodes[n.parent].attr)
+        )
+        parent = tree.nodes[child.parent]
+        child.attr, parent.attr = parent.attr, child.attr
+        issues = check_attribute_tree(tree)
+        assert any("hierarchical order violated" in i for i in issues)
+
+    def test_relation_leaf_mismatch_detected(self):
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        name = next(iter(tree.leaf_of_relation))
+        leaf = tree.nodes[tree.leaf_of_relation[name]]
+        leaf.relation = None
+        issues = check_attribute_tree(tree)
+        assert any(name in i for i in issues)
+
+    def test_broken_parent_child_link_detected(self):
+        tree = AttributeTree(JoinQuery.hier().hypergraph)
+        node = next(n for n in tree.nodes if n.parent is not None)
+        tree.nodes[node.parent].children.remove(node.node_id)
+        issues = check_attribute_tree(tree)
+        assert any("children" in i for i in issues)
+
+
+class TestCheckPlan:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_planner_output_verifies(self, name):
+        p = plan(QUERIES[name])
+        assert check_plan(p) == []
+        verify_plan(p)  # no raise
+
+    def test_exponent_mismatch_detected(self):
+        p = plan(JoinQuery.triangle())
+        p.exponent += 1.0
+        issues = check_plan(p)
+        assert any("min(fhtw+1, hhtw)" in i for i in issues)
+        with pytest.raises(PlanVerificationError):
+            verify_plan(p)
+
+    def test_width_mismatch_detected(self):
+        p = plan(JoinQuery.bowtie())
+        p.fhtw = 99.0
+        assert any("fhtw" in i for i in check_plan(p))
+
+    def test_guarded_flag_mismatch_detected(self):
+        p = plan(JoinQuery.line(3))
+        p.guarded = not p.guarded
+        assert any("guarded" in i for i in check_plan(p))
+
+    def test_unknown_algorithm_detected(self):
+        p = plan(JoinQuery.line(3))
+        p.algorithm = "quantum-join"
+        assert any("unknown algorithm" in i for i in check_plan(p))
+
+    def test_inapplicable_choice_detected(self):
+        p = plan(JoinQuery.triangle())
+        p.algorithm = "hybrid-interval"  # triangle has no guarded partition
+        assert any("guarded partition" in i for i in check_plan(p))
+
+
+class TestPlannerHook:
+    def test_verify_true_runs_verifier(self, monkeypatch):
+        calls = []
+        import repro.analysis.plans as plans_mod
+
+        monkeypatch.setattr(
+            plans_mod, "verify_plan", lambda p: calls.append(p) or p
+        )
+        plan(JoinQuery.line(3), verify=True)
+        assert len(calls) == 1
+
+    def test_env_flag_runs_verifier(self, monkeypatch):
+        calls = []
+        import repro.analysis.plans as plans_mod
+
+        monkeypatch.setattr(
+            plans_mod, "verify_plan", lambda p: calls.append(p) or p
+        )
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "1")
+        plan(JoinQuery.triangle())
+        assert len(calls) == 1
+
+    def test_default_is_off(self, monkeypatch):
+        calls = []
+        import repro.analysis.plans as plans_mod
+
+        monkeypatch.setattr(
+            plans_mod, "verify_plan", lambda p: calls.append(p) or p
+        )
+        monkeypatch.delenv("REPRO_VERIFY_PLANS", raising=False)
+        plan(JoinQuery.line(3))
+        assert calls == []
+
+    def test_verify_accepts_real_plans_end_to_end(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "1")
+        for q in QUERIES.values():
+            plan(q)  # no PlanVerificationError

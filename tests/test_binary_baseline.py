@@ -8,6 +8,7 @@ from repro.algorithms.naive import naive_join
 from repro.core.interval import Interval
 from repro.core.query import JoinQuery
 from repro.core.relation import TemporalRelation
+from repro.core.errors import QueryError
 
 from conftest import random_database
 
@@ -131,7 +132,7 @@ class TestBaselineJoin:
     def test_bad_order_rejected(self, rng):
         q = JoinQuery.line(3)
         db = random_database(q, rng)
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             baseline_join(q, db, order=["R1", "R2"])
 
     def test_track_intermediates(self, rng):

@@ -1,0 +1,94 @@
+"""Determinism regression tests (the ``determinism`` lint rule's runtime twin).
+
+Every registered algorithm must produce *byte-identical* normalized
+results regardless of relation insertion order (database dict key order)
+and tuple insertion order within each relation. The PR 2 parallel engine
+merges shard outputs exactly once and therefore depends on this: any
+hash-ordered iteration (set ordering, dict-of-sets, ...) inside an
+algorithm would surface here as a flaky diff.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.registry import available_algorithms, temporal_join
+from repro.core.query import JoinQuery
+from repro.core.relation import TemporalRelation
+
+from conftest import random_database
+
+#: line(2) is hierarchical AND guarded, so every registered algorithm —
+#: including the (r-)hierarchical-only timefirst-cm and the
+#: guarded-partition-only hybrid-interval — is applicable to it.
+UNIVERSAL_QUERY = JoinQuery.line(2)
+
+#: Applicable-everywhere algorithms additionally run on a cyclic query.
+CYCLIC_CAPABLE = ["timefirst", "hybrid", "baseline", "joinfirst", "naive"]
+
+
+def canonical_bytes(result):
+    """Byte serialization of a result set, stable iff output is deterministic."""
+    rows = [
+        (values, (interval.lo, interval.hi))
+        for values, interval in result.normalized()
+    ]
+    return repr(rows).encode()
+
+
+def shuffled_database(database, seed):
+    """Same logical database, different relation and tuple insertion order."""
+    rng = random.Random(seed)
+    names = list(database)
+    rng.shuffle(names)
+    out = {}
+    for name in names:
+        relation = database[name]
+        rows = list(relation)
+        rng.shuffle(rows)
+        out[name] = TemporalRelation(relation.name, relation.attrs, rows)
+    return out
+
+
+def run_both_orders(algorithm, query, seed, tau=0):
+    rng = random.Random(seed)
+    db = random_database(query, rng, n=12, domain=3, time_span=30)
+    first = temporal_join(query, db, tau=tau, algorithm=algorithm)
+    second = temporal_join(
+        query, shuffled_database(db, seed + 1), tau=tau, algorithm=algorithm
+    )
+    return canonical_bytes(first), canonical_bytes(second)
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_insertion_order_invariance_universal_query(algorithm):
+    got, want = run_both_orders(algorithm, UNIVERSAL_QUERY, seed=2022)
+    assert got == want
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_insertion_order_invariance_with_durability(algorithm):
+    got, want = run_both_orders(algorithm, UNIVERSAL_QUERY, seed=612, tau=4)
+    assert got == want
+
+
+@pytest.mark.parametrize("algorithm", CYCLIC_CAPABLE)
+@pytest.mark.parametrize("name, query", [
+    ("triangle", JoinQuery.triangle()),
+    ("line4", JoinQuery.line(4)),
+    ("star3", JoinQuery.star(3)),
+])
+def test_insertion_order_invariance_structured_queries(algorithm, name, query):
+    got, want = run_both_orders(algorithm, query, seed=hash(name) & 0xFFFF)
+    assert got == want
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_repeated_runs_are_identical(algorithm):
+    rng = random.Random(777)
+    db = random_database(UNIVERSAL_QUERY, rng, n=10, domain=3, time_span=20)
+    runs = {
+        canonical_bytes(temporal_join(UNIVERSAL_QUERY, db, algorithm=algorithm))
+        for _ in range(3)
+    }
+    assert len(runs) == 1

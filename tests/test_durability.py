@@ -18,6 +18,7 @@ from repro.core.interval import Interval, IntervalSet
 from repro.core.query import JoinQuery
 from repro.core.relation import TemporalRelation
 from repro.core.result import JoinResultSet
+from repro.core.errors import QueryError
 
 from conftest import random_database
 
@@ -29,7 +30,7 @@ class TestShrinkDatabase:
         assert out["R"] is rel
 
     def test_negative_tau_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             shrink_database({}, -1)
 
     def test_shrinks_both_sides(self):

@@ -11,6 +11,7 @@ Figure 6 gives three queries and their widths:
 
 import pytest
 
+from repro.analysis.plans import verify_ghd, verify_plan
 from repro.core.classification import classify
 from repro.core.query import JoinQuery
 from repro.nontemporal.ghd import fhtw, fhtw_ghd, hhtw, hhtw_ghd
@@ -38,6 +39,7 @@ class TestFigure6:
         assert fhtw(hg) == 1.5
         assert hhtw(hg) == 1.5
         _, ghd = hhtw_ghd(hg)
+        verify_ghd(ghd)
         assert len(ghd.bags) == 2
         assert sorted(len(b) for b in ghd.bags.values()) == [3, 3]
 
@@ -46,6 +48,7 @@ class TestFigure6:
         assert fhtw(hg) == 1.0
         assert hhtw(hg) == 2.0
         _, ghd = hhtw_ghd(hg)
+        verify_ghd(ghd)
         assert ghd.is_hierarchical()
 
     def test_example3_bridged_triangles_fhtw(self):
@@ -53,6 +56,7 @@ class TestFigure6:
         assert classify(q.hypergraph).value == "cyclic"
         assert fhtw(q.hypergraph) == 1.5
         _, ghd = fhtw_ghd(q.hypergraph)
+        verify_ghd(ghd)
         # The fhtw decomposition keeps the two triangle bags.
         bag_sets = sorted(frozenset(b) for b in ghd.bags.values())
         assert frozenset({"x1", "x2", "x3"}) in bag_sets
@@ -62,6 +66,7 @@ class TestFigure6:
         q = two_triangles_with_bridge()
         assert hhtw(q.hypergraph) == 2.0
         width, ghd = hhtw_ghd(q.hypergraph)
+        verify_ghd(ghd)
         assert width == 2.0
         assert ghd.is_hierarchical()
         # The hierarchical GHD must merge the bridge into a triangle bag
@@ -85,6 +90,7 @@ class TestFigure6:
         from repro.core.planner import plan
 
         p = plan(two_triangles_with_bridge())
+        verify_plan(p)  # static width/exponent accounting must agree
         # min(fhtw + 1, hhtw) = min(2.5, 2) = 2.
         assert p.exponent == 2.0
         assert p.algorithm == "hybrid"

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.plans import check_ghd, verify_ghd
 from repro.core.errors import PlanError
 from repro.core.hypergraph import Hypergraph
 from repro.core.query import JoinQuery
@@ -20,6 +21,7 @@ from repro.nontemporal.ghd import (
 class TestGHDConstruction:
     def test_trivial_ghd_for_acyclic(self):
         ghd = trivial_ghd(JoinQuery.line(3).hypergraph)
+        verify_ghd(ghd)  # independent static check of the same invariants
         assert ghd.is_valid()
         assert ghd.is_trivial()
         assert ghd.width() == 1.0
@@ -32,6 +34,7 @@ class TestGHDConstruction:
         hg = JoinQuery.line(3).hypergraph
         ghd = ghd_from_partition(hg, [["R1", "R2"], ["R3"]])
         assert ghd is not None and ghd.is_valid()
+        assert check_ghd(ghd) == []
         bags = sorted(frozenset(b) for b in ghd.bags.values())
         assert frozenset({"x1", "x2", "x3"}) in bags
         assert frozenset({"x3", "x4"}) in bags
@@ -40,6 +43,7 @@ class TestGHDConstruction:
         for q in [JoinQuery.triangle(), JoinQuery.bowtie(), JoinQuery.cycle(5)]:
             ghd = ghd_from_partition(q.hypergraph, [q.edge_names])
             assert ghd is not None and ghd.is_valid()
+            assert check_ghd(ghd) == []
 
     def test_invalid_partition_returns_none(self):
         # Bags {R1,R3} (x1x2x3x4 minus x2x3? = {x1,x2,x3,x4}) and {R2}:
@@ -95,12 +99,14 @@ class TestWidths:
     def test_hhtw_ghd_is_hierarchical(self):
         for q in [JoinQuery.line(4), JoinQuery.cycle(4), JoinQuery.bowtie()]:
             _, ghd = hhtw_ghd(q.hypergraph)
+            verify_ghd(ghd)
             assert ghd.is_hierarchical()
             assert ghd.is_valid()
 
     def test_fhtw_ghd_valid(self):
         for q in [JoinQuery.cycle(5), JoinQuery.bowtie()]:
             width, ghd = fhtw_ghd(q.hypergraph)
+            verify_ghd(ghd)
             assert ghd.is_valid()
             assert ghd.width() == width
 

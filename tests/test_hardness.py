@@ -16,6 +16,7 @@ from repro.algorithms.registry import temporal_join
 from repro.core.interval import Interval
 from repro.core.query import JoinQuery
 from repro.core.relation import TemporalRelation
+from repro.core.errors import QueryError
 
 
 def brute_triangles(edges):
@@ -102,5 +103,5 @@ class TestNonTemporalCounterpart:
             "R1": TemporalRelation("R1", ("x1", "x2"), [((1, 2), (0, 5))]),
             "R2": TemporalRelation("R2", ("x2", "x3"), [((2, 3), (0, 5))]),
         }
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             counterpart_instance(q, db, ["R1"])

@@ -16,6 +16,7 @@ from repro.algorithms.interval_join import (
 from repro.algorithms.naive import naive_join
 from repro.core.interval import Interval
 from repro.core.query import JoinQuery
+from repro.core.errors import QueryError
 
 from conftest import random_database
 
@@ -68,7 +69,7 @@ class TestDispatch:
         assert set(JOIN_STRATEGIES) == {"forward-scan", "index", "sort-merge"}
 
     def test_unknown_strategy(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             interval_join([], [], strategy="quantum")
 
     @pytest.mark.parametrize("strategy", sorted(JOIN_STRATEGIES))

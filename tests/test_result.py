@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.interval import Interval
 from repro.core.result import JoinResultSet, merge_result_sets
+from repro.core.errors import SchemaError
 
 
 def build(rows):
@@ -99,5 +100,5 @@ class TestMerge:
     def test_merge_layout_mismatch(self):
         a = build([((1, 2), (0, 5))])
         b = JoinResultSet(("x", "y"))
-        with pytest.raises(ValueError):
+        with pytest.raises(SchemaError):
             merge_result_sets(("a", "b"), [a, b])

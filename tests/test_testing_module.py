@@ -8,6 +8,7 @@ import pytest
 import repro
 import repro.testing
 from repro import JoinQuery
+from repro.core.errors import InvariantError
 from repro.testing import differential_check, random_instance, random_temporal_relation
 
 
@@ -63,7 +64,7 @@ class TestDifferentialCheck:
 
         while not len(naive_join(q, db)):
             db = random_instance(q, rng, n=10, domain=2)
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantError):
             differential_check(q, db, algorithms=("timefirst",))
 
     def test_skips_inapplicable(self):

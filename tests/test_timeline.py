@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.errors import SchemaError
 from repro.core.interval import Interval
 from repro.core.result import JoinResultSet
 from repro.core.timeline import (
@@ -16,7 +17,7 @@ from repro.core.timeline import (
 
 class TestTimelineObject:
     def test_misaligned_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SchemaError):
             Timeline((0, 1), (1.0,), (0.0, 0.0))
 
     def test_value_at_points_and_gaps(self):
