@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-smoke examples figures clean
+.PHONY: install test lint analyze bench bench-smoke bench-kernels bench-kernels-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,6 +33,17 @@ bench:
 # trajectory of the parallel engine as BENCH_parallel.json per commit.
 bench-smoke:
 	PYTHONPATH=src python -m repro.bench.smoke --out BENCH_parallel.json
+
+# Object-vs-kernel engine speedups per workload family and size;
+# refreshes the committed BENCH_kernels.json baseline.
+bench-kernels:
+	PYTHONPATH=src python -m repro.bench.kernels --out BENCH_kernels.json
+
+# Regression gate against the committed baseline: re-measures the smoke
+# size and fails if the kernel speedup ratio regressed >15%.
+bench-kernels-check:
+	PYTHONPATH=src python -m repro.bench.kernels --check \
+		--baseline BENCH_kernels.json --out BENCH_kernels_check.json
 
 figures: bench
 	@cat benchmarks/results/*.txt

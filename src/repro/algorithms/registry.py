@@ -209,8 +209,42 @@ def _applicable(name: str, query: JoinQuery) -> bool:
 #: Keyword arguments consumed by the dispatch layer itself, never by an
 #: algorithm function. :func:`strip_unsupported_kwargs` always keeps them,
 #: so benchmark code can hand one common kwargs dict (``workers=`` …) to
-#: algorithms with differing signatures.
-EXECUTOR_KWARGS = frozenset({"workers", "parallel_mode"})
+#: algorithms with differing signatures. ``engine`` lives here for the
+#: same reason: algorithms without a kernel fast path must have it
+#: stripped at dispatch, not see it and error.
+EXECUTOR_KWARGS = frozenset({"workers", "parallel_mode", "engine"})
+
+#: Engines accepted by :func:`temporal_join` / :func:`explain_analyze`.
+ENGINES = ("auto", "kernel", "object")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise QueryError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+
+
+def _kernel_eligible(name: str, engine: str, kwargs: Mapping) -> bool:
+    """Should this dispatch take the columnar kernel fast path?
+
+    ``engine="auto"`` and ``engine="kernel"`` both take it whenever the
+    resolved algorithm has a kernel implementation and no
+    algorithm-specific kwargs (e.g. ``state_factory=``) force the object
+    path. ``engine="kernel"`` on an unsupported algorithm degrades to
+    the object engine rather than erroring — the kwarg is consumed by
+    the dispatch layer, mirroring :data:`EXECUTOR_KWARGS` semantics.
+
+    The registry entry must still be the stock implementation: the
+    kernel path accelerates *that* algorithm, so a replaced/patched
+    registration (tests, user overrides) must win over the fast path.
+    """
+    from ..kernels.engine import supports_kernel
+    from .timefirst import timefirst_join
+
+    if engine == "object" or kwargs or not supports_kernel(name):
+        return False
+    return _REGISTRY.get(name) is timefirst_join
 
 
 def strip_unsupported_kwargs(fn: Algorithm, kwargs: Dict) -> Dict:
@@ -245,7 +279,7 @@ _strip_unsupported_kwargs = strip_unsupported_kwargs
 
 
 def _resolve_auto(
-    query: JoinQuery, kwargs: Dict
+    query: JoinQuery, kwargs: Dict, choice=None
 ) -> Tuple[str, Algorithm, Dict]:
     """Run the Figure 7 planner and validate its pick up front.
 
@@ -254,11 +288,14 @@ def _resolve_auto(
     applicable HYBRID is substituted, with algorithm-specific kwargs
     stripped. Errors raised *during* the chosen algorithm's execution —
     including :class:`PlanError` from nested machinery — propagate to
-    the caller untouched.
+    the caller untouched. Callers that already hold the
+    :class:`~repro.core.planner.Plan` pass it as ``choice`` so the
+    planner runs once per call, not once per layer.
     """
     from ..core.planner import plan
 
-    choice = plan(query)
+    if choice is None:
+        choice = plan(query)
     name = choice.algorithm
     if _applicable(name, query):
         return name, _REGISTRY[name], kwargs
@@ -274,6 +311,7 @@ def temporal_join(
     stats: Optional[ExecutionStats] = None,
     workers: Optional[int] = None,
     parallel_mode: str = "process",
+    engine: str = "auto",
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate the τ-durable temporal join of ``query`` on ``database``.
@@ -305,6 +343,15 @@ def temporal_join(
         ``"process"`` (spawn-based pool, the default) or ``"inline"``
         (same sharded execution inside the calling process, for
         debugging). Ignored unless ``workers >= 2``.
+    engine:
+        ``"auto"`` (default) runs the columnar kernel substrate
+        (:mod:`repro.kernels` — interned values, rank-space endpoints,
+        one pre-sorted event array) whenever the resolved algorithm has
+        a kernel fast path, the object path otherwise. ``"kernel"``
+        requests it explicitly; on algorithms without a fast path the
+        kwarg is consumed and the object path runs (never an error).
+        ``"object"`` forces the original object-row execution. Results
+        are identical across engines up to row order.
     kwargs:
         Forwarded to the selected algorithm (e.g. ``order=`` for
         ``baseline``, ``mode=`` for ``hybrid``).
@@ -317,6 +364,7 @@ def temporal_join(
     """
     _ensure_loaded()
     _check_tau(tau)
+    _check_engine(engine)
     if workers is not None and workers < 1:
         raise QueryError(f"workers must be >= 1, got {workers!r}")
     if workers is not None and workers > 1:
@@ -330,12 +378,32 @@ def temporal_join(
             workers=workers,
             mode=parallel_mode,
             stats=stats,
+            engine=engine,
             **kwargs,
         )
     if algorithm == "auto":
-        _, fn, kwargs = _resolve_auto(query, kwargs)
+        name, fn, kwargs = _resolve_auto(query, kwargs)
     else:
+        name = algorithm
         fn = get_algorithm(algorithm)
+    return _dispatch_serial(name, fn, query, database, tau, stats, engine, kwargs)
+
+
+def _dispatch_serial(
+    name: str,
+    fn: Algorithm,
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number,
+    stats: Optional[ExecutionStats],
+    engine: str,
+    kwargs: Dict,
+) -> JoinResultSet:
+    """Run one resolved algorithm serially, kernel fast path included."""
+    if _kernel_eligible(name, engine, kwargs):
+        from ..kernels.engine import kernel_timefirst_join
+
+        return kernel_timefirst_join(query, database, tau=tau, stats=stats)
     if stats is not None:
         kwargs = dict(kwargs, stats=stats)
     return fn(query, database, tau=tau, **kwargs)
@@ -352,11 +420,13 @@ class ExplainAnalyze:
     seconds: float
     tau: Number
     input_size: int
+    engine: str = "object"
 
     def render(self) -> str:
         """Aligned, ``EXPLAIN ANALYZE``-style report."""
         head = [
             f"algorithm:  {self.algorithm}",
+            f"engine:     {self.engine}",
             f"tau:        {self.tau}",
             f"input rows: {self.input_size}",
             f"results:    {len(self.result)}",
@@ -382,6 +452,7 @@ def explain_analyze(
     stats: Optional[ExecutionStats] = None,
     workers: Optional[int] = None,
     parallel_mode: str = "process",
+    engine: str = "auto",
     **kwargs,
 ) -> ExplainAnalyze:
     """Run the join with telemetry attached and report plan + counters.
@@ -401,14 +472,18 @@ def explain_analyze(
     """
     _ensure_loaded()
     _check_tau(tau)
+    _check_engine(engine)
     from ..core.planner import plan
 
     choice = plan(query)
     if algorithm == "auto":
-        name, fn, kwargs = _resolve_auto(query, kwargs)
+        # The planner already ran above; reuse its plan rather than
+        # re-deriving it inside the resolver.
+        name, fn, kwargs = _resolve_auto(query, kwargs, choice=choice)
     else:
         name = algorithm
         fn = get_algorithm(algorithm)
+    used_engine = "kernel" if _kernel_eligible(name, engine, kwargs) else "object"
     if stats is None:
         stats = ExecutionStats()
     start = time.perf_counter()
@@ -417,10 +492,13 @@ def explain_analyze(
 
         result = parallel_temporal_join(
             query, database, tau=tau, algorithm=name,
-            workers=workers, mode=parallel_mode, stats=stats, **kwargs,
+            workers=workers, mode=parallel_mode, stats=stats,
+            engine=engine, **kwargs,
         )
     else:
-        result = fn(query, database, tau=tau, stats=stats, **kwargs)
+        result = _dispatch_serial(
+            name, fn, query, database, tau, stats, engine, kwargs
+        )
     seconds = time.perf_counter() - start
     explanation = choice.explain()
     if algorithm != "auto":
@@ -443,4 +521,5 @@ def explain_analyze(
         seconds=seconds,
         tau=tau,
         input_size=input_size,
+        engine=used_engine,
     )

@@ -551,6 +551,79 @@ class StatsContract(Rule):
 
 
 # ----------------------------------------------------------------------
+class KernelNoObjectRows(Rule):
+    """Kernel hot loops must stay on interned integer columns.
+
+    The whole point of :mod:`repro.kernels` is that sweep/maintenance
+    loops never touch ``(values, Interval)`` object rows — only
+    ``columns.py`` (the boundary that interns on the way in and
+    de-interns on the way out) may. A ``.rows`` / ``._rows`` access
+    inside a loop, or any call to the object path's ``event_stream``,
+    reintroduces per-event object traffic and silently erodes the
+    engine's measured speedup.
+    """
+
+    id = "kernel-no-object-rows"
+    severity = "error"
+    description = (
+        "object-row access (.rows/._rows in a loop, or event_stream()) "
+        "inside src/repro/kernels/ outside columns.py"
+    )
+    hint = (
+        "consume KernelColumns arrays (row_values/row_lo/row_hi/"
+        "event_codes); object rows cross only through columns.py"
+    )
+
+    _ROW_ATTRS = {"rows", "_rows"}
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While,
+              ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+    def applies(self, logical: str) -> bool:
+        return _in_dirs(logical, ("kernels",)) and _basename(logical) != "columns.py"
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        out = []
+        seen: Set[int] = set()
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name == "event_stream":
+                    out.append(
+                        sf.finding(
+                            self,
+                            node,
+                            "event_stream() builds (tuple, Interval) event "
+                            "objects: kernels sweep pre-sorted integer "
+                            "event codes instead",
+                        )
+                    )
+            if not isinstance(node, self._LOOPS):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in self._ROW_ATTRS
+                    and id(sub) not in seen  # nested loops walk twice
+                ):
+                    seen.add(id(sub))
+                    out.append(
+                        sf.finding(
+                            self,
+                            sub,
+                            f".{sub.attr} object-row access in a kernel hot "
+                            "loop: per-row objects belong behind the "
+                            "columns.py intern/de-intern boundary",
+                        )
+                    )
+        return out
+
+
+# ----------------------------------------------------------------------
 def default_rules() -> List[Rule]:
     """The registered rule set, in reporting order."""
     return [
@@ -562,4 +635,5 @@ def default_rules() -> List[Rule]:
         SpawnSafety(),
         PairedTracerPhases(),
         StatsContract(),
+        KernelNoObjectRows(),
     ]

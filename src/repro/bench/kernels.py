@@ -1,0 +1,254 @@
+"""Kernel benchmark: object engine vs interned-columnar engine, gated.
+
+``make bench-kernels`` runs this module to produce ``BENCH_kernels.json``
+— the committed record of how much the kernel substrate
+(:mod:`repro.kernels`) buys over the object path on the synthetic smoke
+workloads, per family and input size. Like ``bench.smoke`` it is a smoke
+benchmark, not a rigorous one: absolute seconds are machine-local noise,
+but the *speedup ratio* between the two engines on the same machine and
+instance is comparable across machines, which is what the regression
+gate checks.
+
+Two modes::
+
+    python -m repro.bench.kernels --out BENCH_kernels.json
+        Full run (all sizes), writes the JSON document.
+
+    python -m repro.bench.kernels --check --baseline BENCH_kernels.json
+        Regression gate: re-measures the smoke size and fails (exit 1)
+        if the kernel engine's speedup over the object engine dropped
+        more than ``--tolerance`` (default 15%) below the committed
+        baseline's ratio, or below 1.0x outright.
+
+Every cell cross-validates the two engines' normalized results; a
+mismatch marks the cell ``ok: false`` and fails the run — a speedup
+table over wrong answers is worse than no table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.registry import temporal_join
+from ..core.query import JoinQuery
+from ..obs import ExecutionStats
+from ..workloads.synthetic import SyntheticConfig, generate
+from .reporting import format_seconds
+
+#: Workload sizes: label -> synthetic config. Row counts are per the
+#: 3-relation families below: N = 3 * (n_dangling + n_results).
+SIZES: Dict[str, SyntheticConfig] = {
+    "1k": SyntheticConfig(n_dangling=310, n_results=25),
+    "3k": SyntheticConfig(n_dangling=980, n_results=40),
+    "10k": SyntheticConfig(n_dangling=3300, n_results=60),
+}
+
+#: Families exercising both kernel states: line3 drives the generic
+#: GHD sweep state, star3 (hierarchical) drives the X_u counter
+#: hierarchy of Theorem 9.
+FAMILIES = {
+    "line3": lambda: JoinQuery.line(3),
+    "star3": lambda: JoinQuery.star(3),
+}
+
+#: The size the ``--check`` gate re-measures. Small enough for CI,
+#: large enough that the ratio is not dominated by setup cost.
+CHECK_SIZES = ("3k",)
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def _time_engine(query, database, engine: str, tau: float, repeat: int):
+    """Best-of-``repeat`` wall time for one engine; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = temporal_join(
+            query, database, tau=tau, algorithm="timefirst", engine=engine
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_cell(family: str, size: str, tau: float = 0.0, repeat: int = 3) -> dict:
+    """Measure one (family, size) cell: both engines on one instance."""
+    query = FAMILIES[family]()
+    database = generate(query, SIZES[size])
+    n = query.input_size(database)
+
+    object_s, object_result = _time_engine(query, database, "object", tau, repeat)
+    kernel_s, kernel_result = _time_engine(query, database, "kernel", tau, repeat)
+    ok = object_result.normalized() == kernel_result.normalized()
+
+    # Counter profile from a separate instrumented run, so telemetry
+    # never contaminates the timed numbers.
+    stats = ExecutionStats()
+    temporal_join(
+        query, database, tau=tau, algorithm="timefirst", engine="kernel",
+        stats=stats,
+    )
+
+    return {
+        "family": family,
+        "size": size,
+        "input_tuples": n,
+        "tau": tau,
+        "results": len(kernel_result),
+        "object_seconds": object_s,
+        "kernel_seconds": kernel_s,
+        "speedup": object_s / kernel_s if kernel_s > 0 else float("inf"),
+        "ok": ok,
+        "kernel": {
+            "rows": stats.get("kernel.rows"),
+            "interned_values": stats.get("kernel.interned_values"),
+            "distinct_endpoints": stats.get("kernel.distinct_endpoints"),
+            "sort_calls": stats.get("kernel.sort_calls"),
+        },
+    }
+
+
+def run_bench(
+    sizes: Sequence[str] = ("1k", "3k", "10k"),
+    tau: float = 0.0,
+    repeat: int = 3,
+) -> dict:
+    """Measure every (family, size) cell and return the JSON document."""
+    cells: List[dict] = []
+    for family in FAMILIES:
+        for size in sizes:
+            cells.append(run_cell(family, size, tau=tau, repeat=repeat))
+    return {
+        "benchmark": "kernels",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "generator": "workloads.synthetic",
+            "algorithm": "timefirst",
+            "tau": tau,
+            "repeat": repeat,
+            "sizes": {s: SIZES[s].__dict__ for s in sizes},
+        },
+        "cells": cells,
+        "rendered": render_cells(cells),
+    }
+
+
+def render_cells(cells: Sequence[dict]) -> str:
+    """Compact ASCII table of the cell list."""
+    header = (
+        f"{'family':>8} {'size':>5} {'tuples':>7} {'object':>9} "
+        f"{'kernel':>9} {'speedup':>8} {'ok':>3}"
+    )
+    lines = ["Kernel vs object engine (timefirst)", header, "-" * len(header)]
+    for c in cells:
+        lines.append(
+            f"{c['family']:>8} {c['size']:>5} {c['input_tuples']:>7} "
+            f"{format_seconds(c['object_seconds']):>9} "
+            f"{format_seconds(c['kernel_seconds']):>9} "
+            f"{c['speedup']:>7.2f}x {'ok' if c['ok'] else 'BAD':>3}"
+        )
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    doc: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Gate: compare measured speedups against the committed baseline.
+
+    Returns the list of failure messages (empty = gate passes). The
+    comparison is on the object/kernel *ratio*, which cancels machine
+    speed; a cell fails when the kernel is slower than the object path
+    outright, when its ratio regressed more than ``tolerance`` below
+    the baseline ratio, or when the engines disagreed on results.
+    """
+    base = {(c["family"], c["size"]): c for c in baseline.get("cells", [])}
+    failures: List[str] = []
+    for cell in doc["cells"]:
+        key = (cell["family"], cell["size"])
+        label = f"{cell['family']}/{cell['size']}"
+        if not cell["ok"]:
+            failures.append(f"{label}: engines returned different results")
+            continue
+        if cell["speedup"] < 1.0:
+            failures.append(
+                f"{label}: kernel slower than object "
+                f"({cell['speedup']:.2f}x < 1.00x)"
+            )
+            continue
+        ref = base.get(key)
+        if ref is None:
+            continue  # new cell; nothing to regress against
+        floor = ref["speedup"] * (1.0 - tolerance)
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{label}: speedup {cell['speedup']:.2f}x regressed below "
+                f"{floor:.2f}x (baseline {ref['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernels",
+        description="Object-vs-kernel engine benchmark (JSON output + gate)",
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the measured JSON document here")
+    parser.add_argument("--check", action="store_true",
+                        help="regression-gate mode: compare vs --baseline")
+    parser.add_argument("--baseline", default="BENCH_kernels.json",
+                        help="committed baseline JSON (check mode)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative speedup regression "
+                             "(default 0.15)")
+    parser.add_argument("--sizes", nargs="+", default=None,
+                        choices=sorted(SIZES),
+                        help="sizes to measure (default: all; "
+                             f"check mode: {' '.join(CHECK_SIZES)})")
+    parser.add_argument("--tau", type=float, default=0.0)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or (list(CHECK_SIZES) if args.check else ["1k", "3k", "10k"])
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    doc = run_bench(sizes=sizes, tau=args.tau, repeat=args.repeat)
+    print(doc["rendered"])
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_against_baseline(doc, baseline, args.tolerance)
+        if failures:
+            print("\nkernel benchmark gate FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nkernel benchmark gate passed "
+              f"(tolerance {args.tolerance:.0%} vs {args.baseline})")
+        return 0
+
+    return 0 if all(c["ok"] for c in doc["cells"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,9 +40,13 @@ from .relation import TemporalRelation
 
 # Per-row cost constants (empirical, this library, CPython): the sweep
 # pays more per event than a binary join pays per emitted row.
+# ``timefirst_event_kernel`` is the same sweep on the columnar kernel
+# engine (repro.kernels) — interning and the flat event loop cut the
+# per-event constant by the measured BENCH_kernels.json speedup (~2.2×).
 _COST = {
     "baseline_row": 1.0,
     "timefirst_event": 8.0,
+    "timefirst_event_kernel": 3.6,
     "hybrid_bag_row": 3.0,
     "hybrid_interval_core": 4.0,
     "joinfirst_match": 1.2,
@@ -139,7 +143,12 @@ def advise(
     )
 
     structural = plan(query)
-    sweep_cost = _COST["timefirst_event"] * n_total * (
+    event_cost = (
+        _COST["timefirst_event_kernel"]
+        if structural.engine == "kernel"
+        else _COST["timefirst_event"]
+    )
+    sweep_cost = event_cost * n_total * (
         1.0 if structural.query_class.value in ("hierarchical", "r-hierarchical")
         else 2.5
     )
@@ -147,7 +156,8 @@ def advise(
         AlgorithmCost(
             "timefirst",
             sweep_cost + _COST["output_row"] * output_estimate,
-            f"{n_total:,} input tuples swept ({structural.query_class.value})",
+            f"{n_total:,} input tuples swept "
+            f"({structural.query_class.value}, {structural.engine} engine)",
         )
     )
 

@@ -40,6 +40,12 @@ class Plan:
     exponent: float  # Theorem 12 bound min(fhtw + 1, hhtw) (1 if hierarchical)
     guarded: bool
     notes: List[str] = field(default_factory=list)
+    #: Default execution substrate for the chosen algorithm under
+    #: ``engine="auto"``: ``"kernel"`` (columnar interned sweep,
+    #: :mod:`repro.kernels`) when the algorithm has a kernel fast path,
+    #: ``"object"`` otherwise. Same asymptotics either way — the engine
+    #: is a constant-factor choice, never a plan-shape one.
+    engine: str = "object"
 
     def explain(self) -> str:
         """Human-readable account of the decision, à la Table 1."""
@@ -49,6 +55,8 @@ class Plan:
             f"fhtw       : {self.fhtw:g}   hhtw: {self.hhtw:g}",
             f"exponent   : N^{self.exponent:g} (+ K)",
             f"algorithm  : {self.algorithm}",
+            f"engine     : {self.engine}"
+            + (" (interned columnar sweep)" if self.engine == "kernel" else ""),
         ]
         if self.alternatives:
             lines.append(f"also viable: {', '.join(self.alternatives)}")
@@ -114,6 +122,8 @@ def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
             alternatives.append("hybrid-interval")
             notes.append("guarded simplification applies to the GHD")
 
+    from ..kernels.engine import supports_kernel
+
     result = Plan(
         query=query,
         query_class=qclass,
@@ -124,6 +134,7 @@ def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
         exponent=exponent,
         guarded=guarded,
         notes=notes,
+        engine="kernel" if supports_kernel(algorithm) else "object",
     )
     if verify is None:
         verify = bool(os.environ.get("REPRO_VERIFY_PLANS"))

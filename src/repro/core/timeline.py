@@ -116,25 +116,46 @@ def concurrency_timeline(intervals: Iterable[Interval]) -> Timeline:
     for iv in intervals:
         events.append((iv.lo, +1))
         events.append((iv.hi, -1))
-    if not events:
-        return Timeline((), (), ())
     events.sort(key=lambda e: (e[0], -e[1]))  # starts before ends at ties
+    return timeline_from_sorted_events(events)
+
+
+def timeline_from_sorted_events(
+    events: Iterable[Tuple[Number, int]]
+) -> Timeline:
+    """Build a concurrency :class:`Timeline` from pre-sorted endpoint events.
+
+    ``events`` yields ``(time, delta)`` pairs — ``+1`` for an interval
+    start, ``-1`` for an end — already ordered by time with starts
+    before ends at equal instants. This is exactly the order of the
+    kernel engine's pre-sorted event arrays
+    (:meth:`repro.kernels.KernelColumns.timeline`), so timelines come
+    straight off the shared sorted structure instead of re-sweeping the
+    raw intervals. :func:`concurrency_timeline` delegates here after
+    sorting, so both construction paths share one aggregation.
+    """
     points: List[Number] = []
     at_points: List[float] = []
     between: List[float] = []
     current = 0
-    idx = 0
-    n = len(events)
-    while idx < n:
-        t = events[idx][0]
-        starts = ends = 0
-        while idx < n and events[idx][0] == t:
-            if events[idx][1] > 0:
-                starts += 1
-            else:
-                ends += 1
-            idx += 1
-        points.append(t)
+    pending_t: Number = 0
+    starts = ends = 0
+    have_pending = False
+    for t, delta in events:
+        if have_pending and t != pending_t:
+            points.append(pending_t)
+            at_points.append(float(current + starts))
+            current = current + starts - ends
+            between.append(float(current))
+            starts = ends = 0
+        pending_t = t
+        have_pending = True
+        if delta > 0:
+            starts += 1
+        else:
+            ends += 1
+    if have_pending:
+        points.append(pending_t)
         at_points.append(float(current + starts))
         current = current + starts - ends
         between.append(float(current))

@@ -1,0 +1,49 @@
+"""Columnar execution kernels: interned values, rank-space endpoints.
+
+The kernel engine is a fast path under ``temporal_join(engine=...)``,
+not a new algorithm: it replays TIMEFIRST's exact event order over
+pre-flattened int arrays and de-interns at emission, so results are
+indistinguishable from the object path. See DESIGN.md §"Kernel layer".
+
+Layout:
+
+* :mod:`~repro.kernels.columns` — the only module that touches object
+  rows: interning, rank compression, the single per-call event sort,
+  de-interning, shard subsetting, timeline bridging.
+* :mod:`~repro.kernels.hierarchy` / :mod:`~repro.kernels.generic` —
+  row-id driven sweep states (Theorem 6 / Theorem 9 structures).
+* :mod:`~repro.kernels.engine` — the τ-aware driver and the
+  ``supports_kernel`` capability probe used by the dispatch layer.
+"""
+
+from .columns import (
+    KernelColumns,
+    build_columns,
+    deintern_results,
+    shard_row_ids,
+)
+from .engine import (
+    KERNEL_ALGORITHMS,
+    kernel_sweep,
+    kernel_timefirst_join,
+    make_state,
+    prepare_run,
+    supports_kernel,
+)
+from .generic import KernelGenericState
+from .hierarchy import KernelHierarchicalState
+
+__all__ = [
+    "KERNEL_ALGORITHMS",
+    "KernelColumns",
+    "KernelGenericState",
+    "KernelHierarchicalState",
+    "build_columns",
+    "deintern_results",
+    "kernel_sweep",
+    "kernel_timefirst_join",
+    "make_state",
+    "prepare_run",
+    "shard_row_ids",
+    "supports_kernel",
+]

@@ -1,0 +1,301 @@
+"""Columnar ingest/egress for the kernel engine.
+
+This module is the *only* place in :mod:`repro.kernels` that touches
+``(values, Interval)`` object rows (the ``kernel-no-object-rows`` lint
+rule enforces it). It converts a database into a :class:`KernelColumns`
+bundle once per ``temporal_join`` call:
+
+* **Value interning** — every attribute value is mapped to a dense int
+  per attribute domain, in deterministic first-appearance order
+  (database iteration order, the same order that fixes event ``seq``
+  ties). The inverse tables live in :attr:`KernelColumns.domains` and
+  restore the original objects at result emission, so kernel output is
+  indistinguishable from the object path.
+* **Rank-space endpoints** — interval endpoints are rank-compressed
+  into ``array('q')`` int arrays. Ranking is order-preserving, so
+  intersection (max of los, min of his) and emptiness checks are exact
+  in rank space; ``rank_times`` maps ranks back to the exact original
+  endpoint values (``±inf`` participate as ordinary values).
+* **Pre-sorted event codes** — the Algorithm 1 event list is flattened
+  into one sorted list of ints, ``(rank * 2 + kind) * n_rows + row``,
+  whose integer order equals the object path's ``(time, kind, seq)``
+  order. Sorting happens exactly once per call (``kernel.sort_calls``).
+
+Everything here is pure Python and picklable, so shard columns can ship
+to spawn-based worker processes without object rows.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.interval import Interval, Number
+from ..core.relation import TemporalRelation
+from ..core.result import JoinResultSet
+from ..core.timeline import Timeline, timeline_from_sorted_events
+from ..obs import ExecutionStats
+
+Domains = Dict[str, List[object]]
+
+
+class KernelColumns:
+    """One database, flattened into interned parallel arrays.
+
+    Row ids follow database iteration order (relation by relation), the
+    exact order :func:`repro.algorithms.events.event_stream` assigns its
+    ``seq`` tie-breaker — so the kernel sweep replays the object sweep's
+    event order bit for bit.
+    """
+
+    __slots__ = (
+        "relations",
+        "row_relation",
+        "row_values",
+        "row_intervals",
+        "row_lo",
+        "row_hi",
+        "rank_times",
+        "event_codes",
+        "domains",
+        "n_rows",
+    )
+
+    def __init__(
+        self,
+        relations: Tuple[str, ...],
+        row_relation: List[str],
+        row_values: List[Tuple[int, ...]],
+        row_intervals: List[Interval],
+        row_lo: array,
+        row_hi: array,
+        rank_times: List[Number],
+        event_codes: List[int],
+        domains: Domains,
+    ) -> None:
+        self.relations = relations
+        self.row_relation = row_relation
+        self.row_values = row_values
+        self.row_intervals = row_intervals
+        self.row_lo = row_lo
+        self.row_hi = row_hi
+        self.rank_times = rank_times
+        self.event_codes = event_codes
+        self.domains = domains
+        self.n_rows = len(row_values)
+
+    # Explicit state plumbing: __slots__ classes pickle via protocol 2+
+    # by default, but being explicit keeps the spawn contract obvious.
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def subset(self, row_ids: Sequence[int]) -> "KernelColumns":
+        """Columns restricted to ``row_ids``, re-ranked locally.
+
+        Used to build shard payloads: each shard gets its own dense row
+        ids, local endpoint ranks and pre-sorted event codes, while the
+        de-intern ``domains`` tables are shared by reference (they are
+        read-only after construction).
+        """
+        row_values = [self.row_values[r] for r in row_ids]
+        row_intervals = [self.row_intervals[r] for r in row_ids]
+        row_relation = [self.row_relation[r] for r in row_ids]
+        lo_ranks = [self.row_lo[r] for r in row_ids]
+        hi_ranks = [self.row_hi[r] for r in row_ids]
+        used = sorted(set(lo_ranks) | set(hi_ranks))
+        remap = {rank: local for local, rank in enumerate(used)}
+        rank_times = [self.rank_times[rank] for rank in used]
+        row_lo = array("q", (remap[r] for r in lo_ranks))
+        row_hi = array("q", (remap[r] for r in hi_ranks))
+        event_codes = _sorted_event_codes(row_lo, row_hi)
+        return KernelColumns(
+            relations=self.relations,
+            row_relation=row_relation,
+            row_values=row_values,
+            row_intervals=row_intervals,
+            row_lo=row_lo,
+            row_hi=row_hi,
+            rank_times=rank_times,
+            event_codes=event_codes,
+            domains=self.domains,
+        )
+
+    def timeline(self) -> Timeline:
+        """Concurrency timeline straight from the sorted event arrays.
+
+        The event codes are already ordered with INSERTs before EXPIREs
+        at equal times — exactly the ``starts before ends`` order
+        :func:`repro.core.timeline.concurrency_timeline` sorts into —
+        so no re-sweep of the raw intervals is needed.
+        """
+        n = self.n_rows
+        if n == 0:
+            return timeline_from_sorted_events(())
+        rank_times = self.rank_times
+        return timeline_from_sorted_events(
+            (rank_times[code // (2 * n)], 1 if (code // n) % 2 == 0 else -1)
+            for code in self.event_codes
+        )
+
+
+def _sorted_event_codes(row_lo: Sequence[int], row_hi: Sequence[int]) -> List[int]:
+    """Encode + sort the event stream as single ints.
+
+    ``code = (rank * 2 + kind) * n + row`` with INSERT=0 < EXPIRE=1, so
+    plain integer order is the object path's ``(time, kind, seq)`` order.
+    """
+    n = len(row_lo)
+    codes = []
+    append = codes.append
+    for rid in range(n):
+        append(row_lo[rid] * 2 * n + rid)
+        append((row_hi[rid] * 2 + 1) * n + rid)
+    codes.sort()
+    return codes
+
+
+def build_columns(
+    database: Mapping[str, TemporalRelation],
+    stats: Optional[ExecutionStats] = None,
+) -> KernelColumns:
+    """Intern, rank-compress and event-sort ``database`` — once.
+
+    With ``stats`` attached, records ``kernel.rows``,
+    ``kernel.interned_values`` (total distinct values across attribute
+    domains), ``kernel.distinct_endpoints``, ``kernel.sort_calls``
+    (always 1 per call — the single Algorithm 1 line-1 sort) and the
+    ``phase.kernel.intern`` / ``phase.kernel.rank`` timers, all nested
+    under the object path's ``phase.events`` for comparability.
+    """
+    if stats is None:
+        return _build(database, None)
+    with stats.timer("phase.events"):
+        return _build(database, stats)
+
+
+def _intern_rows(database, interners, domains, row_relation, row_values, row_intervals):
+    for name in database:
+        relation = database[name]
+        rel_interners = [interners.setdefault(a, {}) for a in relation.attrs]
+        rel_domains = [domains.setdefault(a, []) for a in relation.attrs]
+        for values, interval in relation:
+            interned = []
+            for table, domain, value in zip(rel_interners, rel_domains, values):
+                code = table.get(value)
+                if code is None:
+                    code = table[value] = len(domain)
+                    domain.append(value)
+                interned.append(code)
+            row_values.append(tuple(interned))
+            row_intervals.append(interval)
+            row_relation.append(name)
+
+
+def _rank_endpoints(row_intervals):
+    endpoints = set()
+    for interval in row_intervals:
+        endpoints.add(interval.lo)
+        endpoints.add(interval.hi)
+    rank_times = sorted(endpoints)
+    rank_of = {t: rank for rank, t in enumerate(rank_times)}
+    row_lo = array("q", (rank_of[iv.lo] for iv in row_intervals))
+    row_hi = array("q", (rank_of[iv.hi] for iv in row_intervals))
+    return rank_times, row_lo, row_hi
+
+
+def _build(
+    database: Mapping[str, TemporalRelation],
+    stats: Optional[ExecutionStats],
+) -> KernelColumns:
+    interners: Dict[str, Dict[object, int]] = {}
+    domains: Domains = {}
+    row_relation: List[str] = []
+    row_values: List[Tuple[int, ...]] = []
+    row_intervals: List[Interval] = []
+
+    if stats is None:
+        _intern_rows(
+            database, interners, domains, row_relation, row_values, row_intervals
+        )
+        rank_times, row_lo, row_hi = _rank_endpoints(row_intervals)
+        event_codes = _sorted_event_codes(row_lo, row_hi)
+    else:
+        with stats.timer("phase.kernel.intern"):
+            _intern_rows(
+                database, interners, domains, row_relation, row_values,
+                row_intervals,
+            )
+        with stats.timer("phase.kernel.rank"):
+            rank_times, row_lo, row_hi = _rank_endpoints(row_intervals)
+            event_codes = _sorted_event_codes(row_lo, row_hi)
+        stats.incr("kernel.rows", len(row_values))
+        stats.incr(
+            "kernel.interned_values", sum(len(d) for d in domains.values())
+        )
+        stats.incr("kernel.distinct_endpoints", len(rank_times))
+        stats.incr("kernel.sort_calls")
+
+    return KernelColumns(
+        relations=tuple(database),
+        row_relation=row_relation,
+        row_values=row_values,
+        row_intervals=row_intervals,
+        row_lo=row_lo,
+        row_hi=row_hi,
+        rank_times=rank_times,
+        event_codes=event_codes,
+        domains=domains,
+    )
+
+
+def deintern_results(domains: Domains, results: JoinResultSet) -> JoinResultSet:
+    """Map interned result rows back to the original attribute values.
+
+    Values that compare equal share one interned slot (first-seen
+    representative), mirroring the dict semantics of the object-path
+    states, so normalized result equality is preserved exactly.
+    """
+    tables = [domains[a] for a in results.attrs]
+    out = JoinResultSet(results.attrs)
+    append = out.append
+    for values, interval in results.rows:
+        append(
+            tuple(table[code] for table, code in zip(tables, values)),
+            interval,
+        )
+    return out
+
+
+def shard_row_ids(
+    columns: KernelColumns,
+    cuts: Sequence[Number],
+    tau: Number = 0,
+) -> List[List[int]]:
+    """Assign every row to the shards its *original* interval overlaps.
+
+    The columns hold τ/2-shrunk intervals (the kernel driver shrinks
+    before interning); ownership in :mod:`repro.parallel` is evaluated
+    on *expanded* result intervals, so assignment must expand each row
+    interval back by τ/2 first — a result's every constituent then
+    reaches the shard that owns the result's endpoint. Infinite
+    endpoints are fixed points of the expansion (IEEE ``±inf ± x``).
+    """
+    import bisect
+
+    n_shards = len(cuts) + 1
+    shards: List[List[int]] = [[] for _ in range(n_shards)]
+    half = tau / 2 if tau else 0
+    intervals = columns.row_intervals
+    right = bisect.bisect_right
+    for rid in range(columns.n_rows):
+        interval = intervals[rid]
+        first = right(cuts, interval.lo - half)
+        last = right(cuts, interval.hi + half)
+        for shard in range(first, last + 1):
+            shards[shard].append(rid)
+    return shards

@@ -1,0 +1,113 @@
+"""Kernel fast path for the §3.3 GHD sweep state.
+
+Subclasses :class:`repro.algorithms.generic_state.GenericGHDState` so the
+restriction cascade, bag materialization and Yannakakis pass stay the
+single proven implementation, and adds the two things profiling shows
+dominate general sweeps on interned columns:
+
+* a row-id sweep interface (``insert_row`` / ``expire_row``) that feeds
+  the inherited machinery precomputed interned tuples and interval
+  objects — no per-event attribute permutation or object hashing;
+* a single-shared-attribute semijoin fast path: line- and chain-shaped
+  adjacencies semijoin on one attribute almost always, where building
+  ``tuple(v[p] for p in pos)`` keys per candidate row is pure overhead —
+  scalar int keys probe the attribute index directly.
+
+Both are pure constant-factor work per Theorem 9 step, so the
+``O(N^(fhtw+1) + K)`` bound is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..algorithms.generic_state import GenericGHDState, Values
+from ..core.interval import Interval
+from ..core.query import JoinQuery
+from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
+from .columns import KernelColumns
+
+
+class KernelGenericState(GenericGHDState):
+    """Row-id driven :class:`GenericGHDState` over interned columns."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        columns: KernelColumns,
+        stats: Optional[ExecutionStats] = None,
+    ) -> None:
+        super().__init__(query, stats=stats)
+        self._row_relation = columns.row_relation
+        self._row_values = columns.row_values
+        self._row_interval = columns.row_intervals
+        # Per relation: (active dict, attr-index dict, edge attrs) —
+        # one lookup per event instead of three.
+        self._row_state: Dict[str, tuple] = {
+            name: (self._active[name], self._attr_index[name], attrs)
+            for name, attrs in self._edge_attrs.items()
+        }
+        # Shared-attribute positions for the scalar semijoin fast path.
+        self._single_pos: Dict[Tuple[str, str], int] = {
+            (name, attr): attrs.index(attr)
+            for name, attrs in self._edge_attrs.items()
+            for attr in attrs
+        }
+
+    # ------------------------------------------------------------------
+    # Row-id sweep interface
+    # ------------------------------------------------------------------
+    def insert_row(self, rid: int) -> None:
+        values = self._row_values[rid]
+        active, index, attrs = self._row_state[self._row_relation[rid]]
+        active[values] = self._row_interval[rid]
+        for attr, value in zip(attrs, values):
+            bucket = index[attr].get(value)
+            if bucket is None:
+                index[attr][value] = {values}
+            else:
+                bucket.add(values)
+
+    def expire_row(self, rid: int, out: JoinResultSet) -> None:
+        relation = self._row_relation[rid]
+        values = self._row_values[rid]
+        self.enumerate_results(relation, values, self._row_interval[rid], out)
+        active, index, attrs = self._row_state[relation]
+        del active[values]
+        for attr, value in zip(attrs, values):
+            bucket = index[attr][value]
+            bucket.discard(values)
+            if not bucket:
+                del index[attr][value]
+
+    # ------------------------------------------------------------------
+    # Scalar-key semijoin (single shared attribute)
+    # ------------------------------------------------------------------
+    def _semijoin_active(
+        self,
+        target: str,
+        source: str,
+        shared: List[str],
+        restricted: Dict[str, Dict[Values, Interval]],
+    ) -> Dict[Values, Interval]:
+        if len(shared) != 1:
+            return super()._semijoin_active(target, source, shared, restricted)
+        attr = shared[0]
+        source_pos = self._single_pos[source, attr]
+        keys = {v[source_pos] for v in restricted[source]}
+        active = self._active[target]
+        if len(keys) * 4 <= max(4, len(active)):
+            bucket_index = self._attr_index[target][attr]
+            out: Dict[Values, Interval] = {}
+            get = bucket_index.get
+            for key in keys:
+                bucket = get(key)
+                if bucket:
+                    for v in bucket:
+                        out[v] = active[v]
+            return out
+        target_pos = self._single_pos[target, attr]
+        return {
+            v: ivl for v, ivl in active.items() if v[target_pos] in keys
+        }

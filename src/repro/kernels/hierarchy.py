@@ -1,0 +1,149 @@
+"""Kernel fast path for the §3.2 attribute-tree sweep state.
+
+Same dynamic structure as
+:class:`repro.algorithms.hierarchical.HierarchicalState` — ``X_u``
+support counting over the attribute tree, ENUMERATE via the root-path
+membership walk, REPORT via per-subtree fragments — but keyed entirely
+on interned ints and driven by row ids:
+
+* every per-event key (path-value permutation, parent group key, the
+  ancestor keys of the Algorithm 2 walk inputs) is precomputed once per
+  row from the interned columns, so the hot loop does dict operations
+  on small int tuples and nothing else;
+* upward propagation, REPORT and the emission layout are inherited
+  unchanged from the object state — interned ints are ordinary hashable
+  values to them — which keeps Theorem 6's update/enumeration bounds
+  and the output semantics identical by construction.
+
+De-interning happens once at the end of the sweep
+(:func:`repro.kernels.columns.deintern_results`), not per result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..algorithms.hierarchical import HierarchicalState
+from ..core.errors import QueryError
+from ..core.query import JoinQuery
+from ..core.result import JoinResultSet
+from ..obs import ExecutionStats
+from .columns import KernelColumns
+
+
+class KernelHierarchicalState(HierarchicalState):
+    """Row-id driven :class:`HierarchicalState` over interned columns."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        columns: KernelColumns,
+        stats: Optional[ExecutionStats] = None,
+    ) -> None:
+        super().__init__(query, stats=stats)
+        nodes = self.tree.nodes
+        prep = {}
+        for name, leaf in self._leaf_id.items():
+            chain: List[Tuple[dict, int, int]] = []
+            node_id = nodes[leaf].parent
+            while node_id is not None:
+                chain.append(
+                    (
+                        self._state[node_id].support,
+                        self._path_len[node_id],
+                        self._nchildren[node_id],
+                    )
+                )
+                node_id = nodes[node_id].parent
+            prep[name] = (
+                leaf,
+                nodes[leaf].parent,
+                self._perm[name],
+                self._parent_path_len[leaf],
+                tuple(chain),
+                nodes[leaf].path_attrs,
+            )
+
+        row_pv: List[Tuple[int, ...]] = []
+        row_gkey: List[Tuple[int, ...]] = []
+        row_leaf: List[int] = []
+        row_leaf_parent: List[Optional[int]] = []
+        row_chain: List[tuple] = []
+        row_path: List[Tuple[str, ...]] = []
+        row_names = columns.row_relation
+        row_values = columns.row_values
+        for rid in range(columns.n_rows):
+            leaf, parent, perm, plen, chain, path = prep[row_names[rid]]
+            values = row_values[rid]
+            pv = tuple(values[i] for i in perm)
+            row_pv.append(pv)
+            row_gkey.append(pv[:plen])
+            row_leaf.append(leaf)
+            row_leaf_parent.append(parent)
+            row_chain.append(chain)
+            row_path.append(path)
+        self._row_pv = row_pv
+        self._row_gkey = row_gkey
+        self._row_leaf = row_leaf
+        self._row_leaf_parent = row_leaf_parent
+        self._row_chain = row_chain
+        self._row_path = row_path
+        self._row_interval = columns.row_intervals
+        self._row_relation = row_names
+
+    # ------------------------------------------------------------------
+    # Row-id sweep interface (the kernel event loop calls only these)
+    # ------------------------------------------------------------------
+    def insert_row(self, rid: int) -> None:
+        leaf = self._row_leaf[rid]
+        pv = self._row_pv[rid]
+        gkey = self._row_gkey[rid]
+        if self._stats is not None:
+            self._stats.incr("hier.inserts")
+        groups = self._state[leaf].groups
+        bucket = groups.get(gkey)
+        if bucket is None:
+            groups[gkey] = {pv: self._row_interval[rid]}
+            self._signal_nonempty(self._row_leaf_parent[rid], gkey)
+        else:
+            if pv in bucket:
+                raise QueryError(
+                    f"duplicate active tuple {pv} in relation "
+                    f"{self._row_relation[rid]!r}; the temporal model "
+                    "requires distinct tuples (see IntervalSet/"
+                    "explode_interval_sets for multi-interval data)"
+                )
+            bucket[pv] = self._row_interval[rid]
+
+    def expire_row(self, rid: int, out: JoinResultSet) -> None:
+        """ENUMERATE (Algorithm 2) then DELETE for one expiring row."""
+        pv = self._row_pv[rid]
+        for support, path_len, nchildren in self._row_chain[rid]:
+            if support.get(pv[:path_len], 0) != nchildren:
+                break
+        else:
+            binding = dict(zip(self._row_path[rid], pv))
+            fragments = self._report(self.tree.root.node_id, binding)
+            if self._stats is not None:
+                self._stats.incr("hier.report_fragments", len(fragments))
+            attrs = self._out_attrs
+            append = out.append
+            for fragment, result_interval in fragments:
+                append(
+                    tuple(
+                        fragment[a] if a in fragment else binding[a]
+                        for a in attrs
+                    ),
+                    result_interval,
+                )
+        # DELETE (Algorithm 1, line 9).
+        leaf = self._row_leaf[rid]
+        gkey = self._row_gkey[rid]
+        if self._stats is not None:
+            self._stats.incr("hier.deletes")
+        groups = self._state[leaf].groups
+        bucket = groups[gkey]
+        del bucket[pv]
+        if not bucket:
+            del groups[gkey]
+            self._signal_empty(self._row_leaf_parent[rid], gkey)

@@ -56,6 +56,7 @@ def parallel_temporal_join(
     mode: str = "process",
     cuts: Optional[Sequence[Number]] = None,
     stats: Optional[ExecutionStats] = None,
+    engine: str = "auto",
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate a τ-durable temporal join across ``workers`` time shards.
@@ -73,15 +74,27 @@ def parallel_temporal_join(
     cuts:
         Explicit interior cut points overriding the endpoint-balanced
         partitioner — for experiments and boundary tests.
+    engine:
+        As in :func:`~repro.algorithms.registry.temporal_join`. On the
+        kernel path the parent interns the (shrunk, reduced) instance
+        once and ships each worker pre-sorted interned columns instead
+        of object rows; workers only sweep, de-intern and filter.
 
     Returns the same :class:`JoinResultSet` (up to row order) as the
     serial ``temporal_join`` with the same arguments; the merge path
     performs no deduplication, relying on the ownership rule.
     """
-    from ..algorithms.registry import _check_tau, _resolve_auto, _ensure_loaded
+    from ..algorithms.registry import (
+        _check_engine,
+        _check_tau,
+        _ensure_loaded,
+        _kernel_eligible,
+        _resolve_auto,
+    )
 
     _ensure_loaded()
     _check_tau(tau)
+    _check_engine(engine)
     query.validate(database)
     if mode not in MODES:
         raise QueryError(f"unknown parallel mode {mode!r}; expected {MODES}")
@@ -94,22 +107,27 @@ def parallel_temporal_join(
         partition = TimePartition(tuple(cuts))
     else:
         partition = partition_timeline(database, workers)
-    shard_dbs = shard_databases(database, partition)
-    _, replicated = replication_factor(database, shard_dbs)
 
-    tasks = [
-        ShardTask(
-            shard=i,
-            query=query,
-            database=shard_db,
-            tau=tau,
-            algorithm=algorithm,
-            cuts=partition.cuts,
-            kwargs=dict(kwargs),
-            collect_stats=stats is not None,
+    if _kernel_eligible(algorithm, engine, kwargs):
+        tasks, replicated = _kernel_shard_tasks(
+            query, database, tau, algorithm, partition, stats
         )
-        for i, shard_db in enumerate(shard_dbs)
-    ]
+    else:
+        shard_dbs = shard_databases(database, partition)
+        _, replicated = replication_factor(database, shard_dbs)
+        tasks = [
+            ShardTask(
+                shard=i,
+                query=query,
+                database=shard_db,
+                tau=tau,
+                algorithm=algorithm,
+                cuts=partition.cuts,
+                kwargs=dict(kwargs),
+                collect_stats=stats is not None,
+            )
+            for i, shard_db in enumerate(shard_dbs)
+        ]
 
     n_procs = min(workers, len(tasks))
     if mode == "process" and n_procs > 1:
@@ -124,6 +142,47 @@ def parallel_temporal_join(
         workers=n_procs,
         replicated=replicated,
     )
+
+
+def _kernel_shard_tasks(
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number,
+    algorithm: str,
+    partition: TimePartition,
+    stats: Optional[ExecutionStats],
+):
+    """Build kernel-engine shard tasks: interned columns, no object rows.
+
+    The instance is prepared (validated, τ/2-shrunk, reduced) and
+    interned *once* in the parent; each shard receives the column subset
+    of every row whose expanded (original) interval overlaps its window,
+    re-ranked locally with its own pre-sorted event codes. Assignment by
+    expanded intervals is what makes ownership exact: a result's
+    endpoint owner sees all of the result's constituent rows (their
+    expanded intervals each contain the expanded result endpoint).
+    """
+    from ..kernels import build_columns, prepare_run, shard_row_ids
+
+    run_query, run_db = prepare_run(query, database, tau, stats=stats)
+    columns = build_columns(run_db, stats=stats)
+    assignments = shard_row_ids(columns, partition.cuts, tau)
+    replicated = sum(len(rids) for rids in assignments) - columns.n_rows
+    tasks = [
+        ShardTask(
+            shard=i,
+            query=run_query,
+            database=None,
+            tau=tau,
+            algorithm=algorithm,
+            cuts=partition.cuts,
+            kwargs={},
+            collect_stats=stats is not None,
+            columns=columns.subset(rids),
+        )
+        for i, rids in enumerate(assignments)
+    ]
+    return tasks, replicated
 
 
 def _run_pool(tasks: Sequence[ShardTask], n_procs: int) -> Sequence[ShardOutcome]:

@@ -29,16 +29,26 @@ from .partition import TimePartition
 
 @dataclass
 class ShardTask:
-    """Everything one worker needs, pickled exactly once per shard."""
+    """Everything one worker needs, pickled exactly once per shard.
+
+    Two payload shapes: the object engine ships a shard sub-database
+    (``database``); the kernel engine ships pre-interned columns
+    (``columns`` — see :meth:`repro.kernels.KernelColumns.subset`) and
+    leaves ``database`` ``None``, so no object rows cross the process
+    boundary. On the kernel path ``query`` is the *run* query (already
+    validated / τ-shrunk / r-hierarchically reduced by the parent) and
+    the worker only sweeps, de-interns and expands.
+    """
 
     shard: int
     query: JoinQuery
-    database: Dict[str, TemporalRelation]
+    database: Optional[Dict[str, TemporalRelation]]
     tau: Number
     algorithm: str
     cuts: Tuple[Number, ...]
     kwargs: Dict = field(default_factory=dict)
     collect_stats: bool = False
+    columns: Optional[object] = None  # repro.kernels.KernelColumns
 
 
 @dataclass
@@ -62,17 +72,22 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     payload small and spawn-safe. Exceptions propagate; the pool in
     :mod:`repro.parallel.executor` re-raises them in the parent.
     """
-    from ..algorithms.registry import get_algorithm
-
-    fn = get_algorithm(task.algorithm)
     partition = TimePartition(task.cuts)
     stats = ExecutionStats() if task.collect_stats else None
-    kwargs = dict(task.kwargs)
-    if stats is not None:
-        kwargs["stats"] = stats
 
     start = time.perf_counter()
-    result = fn(task.query, task.database, tau=task.tau, **kwargs)
+    if task.columns is not None:
+        result = _run_kernel_shard(task, stats)
+        input_size = task.columns.n_rows
+    else:
+        from ..algorithms.registry import get_algorithm
+
+        fn = get_algorithm(task.algorithm)
+        kwargs = dict(task.kwargs)
+        if stats is not None:
+            kwargs["stats"] = stats
+        result = fn(task.query, task.database, tau=task.tau, **kwargs)
+        input_size = sum(len(rel) for rel in task.database.values())
     seconds = time.perf_counter() - start
 
     shard = task.shard
@@ -81,9 +96,28 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     return ShardOutcome(
         shard=shard,
         rows=owned,
-        input_size=sum(len(rel) for rel in task.database.values()),
+        input_size=input_size,
         raw_results=len(result),
         owned_results=len(owned),
         seconds=seconds,
         stats=stats,
     )
+
+
+def _run_kernel_shard(task: ShardTask, stats: Optional[ExecutionStats]):
+    """Sweep one shard of pre-interned columns (kernel engine).
+
+    The parent already validated, τ/2-shrunk and (if needed) reduced
+    the instance before interning, so the worker's job is exactly the
+    remaining pipeline: sweep the shard's pre-sorted event codes,
+    de-intern via the shared domain tables, and expand result intervals
+    back by τ/2. The ownership filter in :func:`run_shard` then sees
+    the same expanded intervals the object path produces.
+    """
+    from ..kernels import deintern_results, kernel_sweep, make_state
+
+    columns = task.columns
+    state = make_state(task.query, columns, stats=stats)
+    result = kernel_sweep(task.query, columns, state, stats=stats)
+    result = deintern_results(columns.domains, result)
+    return result.expand_intervals(task.tau / 2 if task.tau else 0)

@@ -308,6 +308,75 @@ class TestStatsContract:
         assert "other.py" in contract[0].message
 
 
+class TestKernelNoObjectRows:
+    KERNEL = "src/repro/kernels/fixture.py"
+
+    def test_rows_access_in_loop_flagged(self):
+        src = """
+        def sweep(relation):
+            total = 0
+            for values, interval in relation.rows:
+                total += 1
+            return total
+        """
+        found = findings_for(src, self.KERNEL, "kernel-no-object-rows")
+        assert len(found) == 1
+        assert ".rows" in found[0].message
+
+    def test_private_rows_and_comprehensions_flagged(self):
+        src = """
+        def collect(relation):
+            return [v for v, _ in relation._rows]
+        """
+        assert len(findings_for(
+            src, self.KERNEL, "kernel-no-object-rows")) == 1
+
+    def test_event_stream_call_flagged_anywhere(self):
+        src = """
+        from repro.algorithms.events import event_stream
+
+        def build(db):
+            return list(event_stream(db))
+        """
+        found = findings_for(src, self.KERNEL, "kernel-no-object-rows")
+        assert len(found) == 1
+        assert "event_stream" in found[0].message
+
+    def test_rows_outside_loop_allowed(self):
+        # One-shot (non-loop) access, e.g. sizing, is not a hot loop.
+        src = """
+        def size(relation):
+            return len(relation.rows)
+        """
+        assert findings_for(src, self.KERNEL, "kernel-no-object-rows") == []
+
+    def test_columns_module_exempt(self):
+        src = """
+        def intern(db):
+            out = []
+            for name in db:
+                for values, interval in db[name].rows:
+                    out.append(values)
+            return out
+        """
+        assert findings_for(
+            src, "src/repro/kernels/columns.py", "kernel-no-object-rows"
+        ) == []
+
+    def test_rule_scoped_to_kernels_dir(self):
+        src = """
+        def f(relation):
+            for row in relation.rows:
+                pass
+        """
+        assert findings_for(src, ALG, "kernel-no-object-rows") == []
+
+    def test_real_kernels_package_is_clean(self):
+        report = run_lint(["src/repro/kernels"], rules=default_rules())
+        assert [f for f in report.findings
+                if f.rule == "kernel-no-object-rows"] == []
+
+
 class TestEngineBehavior:
     def test_inline_suppression(self):
         src = """
@@ -367,7 +436,7 @@ class TestEngineBehavior:
 
     def test_every_rule_has_identity(self):
         rules = default_rules()
-        assert len(rules) == 8
-        assert len({r.id for r in rules}) == 8
+        assert len(rules) == 9
+        assert len({r.id for r in rules}) == 9
         for rule in rules:
             assert rule.description and rule.hint and rule.severity == "error"

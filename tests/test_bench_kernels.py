@@ -1,0 +1,99 @@
+"""Tests for the bench-kernels entry point and its regression gate."""
+
+import json
+
+from repro.bench.kernels import (
+    check_against_baseline,
+    main,
+    run_bench,
+    run_cell,
+)
+
+
+def _tiny_doc():
+    # The "1k" size keeps the test fast while still timing real sweeps.
+    return run_bench(sizes=("1k",), repeat=1)
+
+
+class TestRunBench:
+    def test_document_shape(self):
+        doc = _tiny_doc()
+        assert doc["benchmark"] == "kernels"
+        assert {c["family"] for c in doc["cells"]} == {"line3", "star3"}
+        for cell in doc["cells"]:
+            assert cell["ok"], cell
+            assert cell["object_seconds"] > 0
+            assert cell["kernel_seconds"] > 0
+            assert cell["kernel"]["sort_calls"] == 1
+            assert cell["kernel"]["rows"] == cell["input_tuples"]
+        assert "speedup" in doc["rendered"]
+
+    def test_cell_validates_engine_agreement(self):
+        cell = run_cell("star3", "1k", repeat=1)
+        assert cell["ok"]
+        assert cell["results"] > 0
+
+
+class TestGate:
+    def test_passes_against_itself(self):
+        doc = _tiny_doc()
+        assert check_against_baseline(doc, doc, tolerance=0.15) == []
+
+    def test_flags_regression_beyond_tolerance(self):
+        doc = _tiny_doc()
+        inflated = json.loads(json.dumps(doc))
+        for cell in inflated["cells"]:
+            cell["speedup"] *= 10
+        failures = check_against_baseline(doc, inflated, tolerance=0.15)
+        assert len(failures) == len(doc["cells"])
+        assert all("regressed" in f for f in failures)
+
+    def test_flags_kernel_slower_than_object(self):
+        doc = _tiny_doc()
+        slow = json.loads(json.dumps(doc))
+        for cell in slow["cells"]:
+            cell["speedup"] = 0.5
+        failures = check_against_baseline(slow, doc, tolerance=0.15)
+        assert all("slower than object" in f for f in failures)
+
+    def test_flags_result_mismatch(self):
+        doc = _tiny_doc()
+        bad = json.loads(json.dumps(doc))
+        bad["cells"][0]["ok"] = False
+        failures = check_against_baseline(bad, doc, tolerance=0.15)
+        assert any("different results" in f for f in failures)
+
+    def test_new_cells_have_nothing_to_regress_against(self):
+        doc = _tiny_doc()
+        empty_baseline = {"cells": []}
+        assert check_against_baseline(doc, empty_baseline) == []
+
+
+class TestMain:
+    def test_writes_json_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernels.json"
+        rc = main(["--out", str(out), "--sizes", "1k", "--repeat", "1"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "kernels"
+        captured = capsys.readouterr()
+        assert "Kernel vs object" in captured.out
+
+    def test_check_mode_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(["--out", str(baseline), "--sizes", "1k", "--repeat", "1"])
+        assert rc == 0
+        rc = main([
+            "--check", "--baseline", str(baseline),
+            "--sizes", "1k", "--repeat", "1",
+        ])
+        assert rc == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_check_mode_missing_baseline(self, tmp_path, capsys):
+        rc = main([
+            "--check", "--baseline", str(tmp_path / "nope.json"),
+            "--sizes", "1k", "--repeat", "1",
+        ])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Hypothesis: kernel and object engines are observationally identical.
+
+Satellite property suite: for randomly drawn instances —
+including duplicate endpoint values, zero-length intervals and infinite
+endpoints — ``engine="kernel"`` and ``engine="object"`` produce the same
+normalized :class:`~repro.core.result.JoinResultSet` for every
+registered algorithm, for τ ∈ {0, >0}, and for workers ∈ {1, 3}.
+
+Instances are deliberately tiny (≤ 6 tuples per relation, domain of 3,
+endpoints in a dozen-value range) so that endpoint collisions and
+boundary coincidences are the *common* case, not the rare one.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import temporal_join  # noqa: E402
+from repro.algorithms.registry import available_algorithms  # noqa: E402
+from repro.core.errors import PlanError, QueryError  # noqa: E402
+from repro.core.interval import Interval  # noqa: E402
+from repro.core.query import JoinQuery  # noqa: E402
+from repro.core.relation import TemporalRelation  # noqa: E402
+
+QUERIES = (
+    JoinQuery.line(3),   # acyclic, non-hierarchical -> generic kernel state
+    JoinQuery.star(3),   # hierarchical -> hierarchical kernel state
+    JoinQuery.triangle(),  # cyclic -> generic kernel state over a GHD
+)
+
+_INF = float("inf")
+
+# Endpoints are drawn from a small integer range plus +/-inf so that
+# duplicate endpoints, instantaneous intervals and unbounded intervals
+# all occur frequently.
+_lo = st.one_of(st.integers(min_value=-4, max_value=6), st.just(-_INF))
+_dur = st.one_of(st.integers(min_value=0, max_value=5), st.just(_INF))
+
+
+@st.composite
+def _instance(draw):
+    query = draw(st.sampled_from(QUERIES))
+    database = {}
+    for name in query.edge_names:
+        attrs = query.edge(name)
+        raw = draw(
+            st.lists(
+                st.tuples(
+                    st.tuples(*[st.integers(0, 2) for _ in attrs]),
+                    _lo,
+                    _dur,
+                ),
+                min_size=0,
+                max_size=6,
+            )
+        )
+        rows, seen = [], set()
+        for values, lo, dur in raw:
+            if values in seen:  # relations are sets of value tuples
+                continue
+            seen.add(values)
+            hi = _INF if dur == _INF else (dur if lo == -_INF else lo + dur)
+            rows.append((values, Interval(lo, hi)))
+        database[name] = TemporalRelation(name, attrs, rows)
+    return query, database
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=_instance(), tau=st.sampled_from([0, 3]))
+def test_kernel_matches_object_serial(instance, tau):
+    query, database = instance
+    want = temporal_join(
+        query, database, tau=tau, algorithm="timefirst", engine="object"
+    ).normalized()
+    got = temporal_join(
+        query, database, tau=tau, algorithm="timefirst", engine="kernel"
+    ).normalized()
+    assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=_instance(), tau=st.sampled_from([0, 3]))
+def test_kernel_matches_object_parallel(instance, tau):
+    query, database = instance
+    want = temporal_join(
+        query, database, tau=tau, algorithm="timefirst", engine="object"
+    ).normalized()
+    for workers in (1, 3):
+        got = temporal_join(
+            query, database, tau=tau, algorithm="timefirst", engine="kernel",
+            workers=workers, parallel_mode="inline",
+        ).normalized()
+        assert got == want, workers
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=_instance(), tau=st.sampled_from([0, 3]))
+def test_engine_kwarg_uniform_across_registry(instance, tau):
+    """``engine="kernel"`` is accepted by *every* registered algorithm
+    and never changes its answer (algorithms without a fast path strip
+    it and run unchanged)."""
+    query, database = instance
+    for algorithm in available_algorithms():
+        try:
+            want = temporal_join(
+                query, database, tau=tau, algorithm=algorithm, engine="object"
+            ).normalized()
+        except (PlanError, QueryError):
+            # e.g. timefirst-cm on a non-hierarchical query, or
+            # hybrid-interval on a cyclic one; the engine kwarg must not
+            # change *that* outcome either.
+            with pytest.raises((PlanError, QueryError)):
+                temporal_join(
+                    query, database, tau=tau, algorithm=algorithm,
+                    engine="kernel",
+                )
+            continue
+        got = temporal_join(
+            query, database, tau=tau, algorithm=algorithm, engine="kernel"
+        ).normalized()
+        assert got == want, algorithm

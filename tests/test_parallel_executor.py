@@ -228,4 +228,15 @@ class TestRegistryRouting:
         kwargs = {"workers": 4, "parallel_mode": "inline", "order": ("R1",)}
         stripped = strip_unsupported_kwargs(joinfirst_join, kwargs)
         assert stripped == {"workers": 4, "parallel_mode": "inline"}
-        assert EXECUTOR_KWARGS == {"workers", "parallel_mode"}
+        # "engine" joined the dispatch-layer kwargs with the kernel
+        # substrate: algorithms without a kernel fast path must have it
+        # stripped rather than see it and error.
+        assert EXECUTOR_KWARGS == {"workers", "parallel_mode", "engine"}
+
+    def test_strip_keeps_engine_kwarg(self):
+        from repro.algorithms.joinfirst import joinfirst_join
+
+        stripped = strip_unsupported_kwargs(
+            joinfirst_join, {"engine": "kernel", "junk": 1}
+        )
+        assert stripped == {"engine": "kernel"}
