@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-smoke bench-kernels bench-kernels-check examples figures clean
+.PHONY: install test lint analyze bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -44,6 +44,18 @@ bench-kernels:
 bench-kernels-check:
 	PYTHONPATH=src python -m repro.bench.kernels --check \
 		--baseline BENCH_kernels.json --out BENCH_kernels_check.json
+
+# Cold-fleet vs prepared-batch amortization over the 10-template
+# standing-query fleet; refreshes the committed BENCH_prepared.json.
+bench-prepared:
+	PYTHONPATH=src python -m repro.bench.prepared --out BENCH_prepared.json
+
+# Regression gate against the committed baseline: re-measures the smoke
+# size and fails if the amortized speedup regressed >15% (or fell
+# below break-even, or the batch re-sorted the event stream).
+bench-prepared-check:
+	PYTHONPATH=src python -m repro.bench.prepared --check \
+		--baseline BENCH_prepared.json --out BENCH_prepared_check.json
 
 figures: bench
 	@cat benchmarks/results/*.txt

@@ -51,6 +51,7 @@ from .core import (
 from .core.advisor import Advice, advise
 from .core.timeline import Timeline, busiest_instant, result_timeline
 from .core.planner import Plan, plan
+from .kernels.prepared import PreparedDatabase, prepare, run_batch
 from .obs import ExecutionStats
 
 __version__ = "1.0.0"
@@ -77,10 +78,13 @@ __all__ = [
     "hybrid_join",
     "joinfirst_join",
     "OnlineTemporalJoin",
+    "PreparedDatabase",
     "Timeline",
     "busiest_instant",
     "naive_join",
     "plan",
+    "prepare",
+    "run_batch",
     "self_join_database",
     "shrink_database",
     "result_timeline",

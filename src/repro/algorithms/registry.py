@@ -211,8 +211,9 @@ def _applicable(name: str, query: JoinQuery) -> bool:
 #: so benchmark code can hand one common kwargs dict (``workers=`` …) to
 #: algorithms with differing signatures. ``engine`` lives here for the
 #: same reason: algorithms without a kernel fast path must have it
-#: stripped at dispatch, not see it and error.
-EXECUTOR_KWARGS = frozenset({"workers", "parallel_mode", "engine"})
+#: stripped at dispatch, not see it and error. ``prepared`` likewise:
+#: only the dispatch layer knows how to swap prepared columns in.
+EXECUTOR_KWARGS = frozenset({"workers", "parallel_mode", "engine", "prepared"})
 
 #: Engines accepted by :func:`temporal_join` / :func:`explain_analyze`.
 ENGINES = ("auto", "kernel", "object")
@@ -225,26 +226,59 @@ def _check_engine(engine: str) -> None:
         )
 
 
-def _kernel_eligible(name: str, engine: str, kwargs: Mapping) -> bool:
-    """Should this dispatch take the columnar kernel fast path?
+def _engine_decision(
+    name: str, engine: str, kwargs: Mapping
+) -> Tuple[str, Optional[str]]:
+    """The one engine-selection rule, shared by every dispatch site.
 
-    ``engine="auto"`` and ``engine="kernel"`` both take it whenever the
-    resolved algorithm has a kernel implementation and no
+    Returns ``(used_engine, fallback_reason)`` for the *post-fallback*
+    algorithm ``name``: serial dispatch, the parallel executor,
+    ``explain_analyze``'s report and the batch executor all call this
+    same function, so the engine that runs and the engine that is
+    reported cannot drift apart.
+
+    ``engine="auto"`` and ``engine="kernel"`` both pick the kernel
+    whenever the resolved algorithm has a kernel implementation, no
     algorithm-specific kwargs (e.g. ``state_factory=``) force the object
-    path. ``engine="kernel"`` on an unsupported algorithm degrades to
-    the object engine rather than erroring — the kwarg is consumed by
-    the dispatch layer, mirroring :data:`EXECUTOR_KWARGS` semantics.
-
-    The registry entry must still be the stock implementation: the
+    path, and the registry entry is still the stock implementation (the
     kernel path accelerates *that* algorithm, so a replaced/patched
-    registration (tests, user overrides) must win over the fast path.
+    registration — tests, user overrides — must win over the fast path).
+
+    ``fallback_reason`` is non-``None`` exactly when the caller asked
+    for ``engine="kernel"`` explicitly and the request degraded — the
+    silent-degradation bug this replaces: an explicit request that runs
+    the object path now records *why* (``kernel.fallback_reason``).
+    ``engine="auto"`` degradations are normal dispatch, not fallbacks,
+    and never produce a reason.
     """
     from ..kernels.engine import supports_kernel
     from .timefirst import timefirst_join
 
-    if engine == "object" or kwargs or not supports_kernel(name):
-        return False
-    return _REGISTRY.get(name) is timefirst_join
+    if engine == "object":
+        return "object", None
+    explicit = engine == "kernel"
+    if not supports_kernel(name):
+        return "object", (
+            f"algorithm {name!r} has no kernel fast path"
+            if explicit else None
+        )
+    if kwargs:
+        return "object", (
+            f"algorithm kwargs {sorted(kwargs)} force the object path"
+            if explicit else None
+        )
+    if _REGISTRY.get(name) is not timefirst_join:
+        return "object", (
+            f"registry entry for {name!r} is overridden; the kernel "
+            "accelerates the stock implementation only"
+            if explicit else None
+        )
+    return "kernel", None
+
+
+def _kernel_eligible(name: str, engine: str, kwargs: Mapping) -> bool:
+    """True iff :func:`_engine_decision` selects the kernel fast path."""
+    return _engine_decision(name, engine, kwargs)[0] == "kernel"
 
 
 def strip_unsupported_kwargs(fn: Algorithm, kwargs: Dict) -> Dict:
@@ -312,6 +346,7 @@ def temporal_join(
     workers: Optional[int] = None,
     parallel_mode: str = "process",
     engine: str = "auto",
+    prepared=None,
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate the τ-durable temporal join of ``query`` on ``database``.
@@ -352,6 +387,15 @@ def temporal_join(
         kwarg is consumed and the object path runs (never an error).
         ``"object"`` forces the original object-row execution. Results
         are identical across engines up to row order.
+    prepared:
+        Optional :class:`~repro.kernels.prepared.PreparedDatabase` from
+        :func:`repro.kernels.prepared.prepare`. Must match ``database``
+        (validated up front, :class:`QueryError` on any drift); on the
+        kernel path the call then skips interning, ranking and the
+        event sort entirely, sweeping the artifact's cached columns.
+        Ignored by the object path. See also
+        :func:`repro.kernels.prepared.run_batch` for whole-fleet
+        amortization.
     kwargs:
         Forwarded to the selected algorithm (e.g. ``order=`` for
         ``baseline``, ``mode=`` for ``hybrid``).
@@ -367,6 +411,8 @@ def temporal_join(
     _check_engine(engine)
     if workers is not None and workers < 1:
         raise QueryError(f"workers must be >= 1, got {workers!r}")
+    if prepared is not None:
+        prepared.validate_against(database)
     if workers is not None and workers > 1:
         from ..parallel import parallel_temporal_join
 
@@ -379,14 +425,22 @@ def temporal_join(
             mode=parallel_mode,
             stats=stats,
             engine=engine,
+            prepared=prepared,
             **kwargs,
         )
     if algorithm == "auto":
-        name, fn, kwargs = _resolve_auto(query, kwargs)
+        if prepared is not None:
+            choice = prepared.cached_plan(query, stats=stats)
+            name, fn, kwargs = _resolve_auto(query, kwargs, choice=choice)
+        else:
+            name, fn, kwargs = _resolve_auto(query, kwargs)
     else:
         name = algorithm
         fn = get_algorithm(algorithm)
-    return _dispatch_serial(name, fn, query, database, tau, stats, engine, kwargs)
+    return _dispatch_serial(
+        name, fn, query, database, tau, stats, engine, kwargs,
+        prepared=prepared,
+    )
 
 
 def _dispatch_serial(
@@ -398,11 +452,18 @@ def _dispatch_serial(
     stats: Optional[ExecutionStats],
     engine: str,
     kwargs: Dict,
+    prepared=None,
 ) -> JoinResultSet:
     """Run one resolved algorithm serially, kernel fast path included."""
-    if _kernel_eligible(name, engine, kwargs):
+    used_engine, fallback_reason = _engine_decision(name, engine, kwargs)
+    if fallback_reason is not None and stats is not None:
+        stats.note("kernel.fallback_reason", fallback_reason)
+    if used_engine == "kernel":
         from ..kernels.engine import kernel_timefirst_join
+        from ..kernels.prepared import needs_reduction, prepared_kernel_join
 
+        if prepared is not None and not needs_reduction(query):
+            return prepared_kernel_join(query, prepared, tau=tau, stats=stats)
         return kernel_timefirst_join(query, database, tau=tau, stats=stats)
     if stats is not None:
         kwargs = dict(kwargs, stats=stats)
@@ -421,12 +482,19 @@ class ExplainAnalyze:
     tau: Number
     input_size: int
     engine: str = "object"
+    #: Why an explicit ``engine="kernel"`` request degraded to the
+    #: object path (``None`` when it did not) — the same text recorded
+    #: under ``stats.notes["kernel.fallback_reason"]``.
+    kernel_fallback: Optional[str] = None
 
     def render(self) -> str:
         """Aligned, ``EXPLAIN ANALYZE``-style report."""
+        engine_line = f"engine:     {self.engine}"
+        if self.kernel_fallback:
+            engine_line += f" (kernel fallback: {self.kernel_fallback})"
         head = [
             f"algorithm:  {self.algorithm}",
-            f"engine:     {self.engine}",
+            engine_line,
             f"tau:        {self.tau}",
             f"input rows: {self.input_size}",
             f"results:    {len(self.result)}",
@@ -453,6 +521,7 @@ def explain_analyze(
     workers: Optional[int] = None,
     parallel_mode: str = "process",
     engine: str = "auto",
+    prepared=None,
     **kwargs,
 ) -> ExplainAnalyze:
     """Run the join with telemetry attached and report plan + counters.
@@ -469,13 +538,20 @@ def explain_analyze(
     (e.g. a parameter sweep); by default a fresh object is used. With
     ``workers >= 2`` the run goes through the parallel engine and the
     report includes the ``parallel.*`` counters and per-shard timers.
+    With ``prepared=`` the run reuses the artifact's columns and plan
+    cache exactly as ``temporal_join`` would, and the report's counters
+    include the ``prepared.*`` rows (cache hits, reuse, time saved).
     """
     _ensure_loaded()
     _check_tau(tau)
     _check_engine(engine)
-    from ..core.planner import plan
+    if prepared is not None:
+        prepared.validate_against(database)
+        choice = prepared.cached_plan(query, stats=stats)
+    else:
+        from ..core.planner import plan
 
-    choice = plan(query)
+        choice = plan(query)
     if algorithm == "auto":
         # The planner already ran above; reuse its plan rather than
         # re-deriving it inside the resolver.
@@ -483,7 +559,10 @@ def explain_analyze(
     else:
         name = algorithm
         fn = get_algorithm(algorithm)
-    used_engine = "kernel" if _kernel_eligible(name, engine, kwargs) else "object"
+    # The decision for the *post-fallback* algorithm, from the same
+    # helper the dispatch sites use — the reported engine is the engine
+    # that runs, by construction rather than by synchronized duplicates.
+    used_engine, kernel_fallback = _engine_decision(name, engine, kwargs)
     if stats is None:
         stats = ExecutionStats()
     start = time.perf_counter()
@@ -493,11 +572,12 @@ def explain_analyze(
         result = parallel_temporal_join(
             query, database, tau=tau, algorithm=name,
             workers=workers, mode=parallel_mode, stats=stats,
-            engine=engine, **kwargs,
+            engine=engine, prepared=prepared, **kwargs,
         )
     else:
         result = _dispatch_serial(
-            name, fn, query, database, tau, stats, engine, kwargs
+            name, fn, query, database, tau, stats, engine, kwargs,
+            prepared=prepared,
         )
     seconds = time.perf_counter() - start
     explanation = choice.explain()
@@ -522,4 +602,5 @@ def explain_analyze(
         tau=tau,
         input_size=input_size,
         engine=used_engine,
+        kernel_fallback=kernel_fallback,
     )

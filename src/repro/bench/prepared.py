@@ -1,0 +1,328 @@
+"""Prepared-database benchmark: per-query vs amortized cost, gated.
+
+``make bench-prepared`` runs this module to produce
+``BENCH_prepared.json`` — the committed record of what
+:func:`repro.kernels.prepared.prepare` + :func:`~repro.kernels.prepared.run_batch`
+buy over cold per-query calls on a standing-query fleet. The scenario is
+ROADMAP's serving story: one ingest path, N standing queries. A fleet of
+ten query templates over one shared line5 schema — duplicate templates
+included, as real standing-query registries have — is evaluated two
+ways:
+
+* **cold** — ten independent ``temporal_join(engine="kernel")`` calls,
+  each paying intern + rank + event-sort for the relations it touches;
+* **amortized** — one :func:`prepare` of the full database, then one
+  :func:`run_batch` over the ten templates: a single ingest, one sweep
+  per distinct hypergraph, shared rows projected into duplicate
+  templates.
+
+Like ``bench.kernels`` this is a smoke benchmark: absolute seconds are
+machine noise, the cold/amortized *ratio* on the same machine and
+instance is what the regression gate compares. Every cell
+cross-validates batch results against the cold results query by query.
+
+Two modes::
+
+    python -m repro.bench.prepared --out BENCH_prepared.json
+        Full run (all sizes), writes the JSON document.
+
+    python -m repro.bench.prepared --check --baseline BENCH_prepared.json
+        Regression gate: re-measures the smoke size and fails (exit 1)
+        if the amortized speedup dropped more than ``--tolerance``
+        (default 15%) below the committed baseline's, or below 1.0x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.registry import temporal_join
+from ..core.query import JoinQuery
+from ..kernels.prepared import prepare, run_batch
+from ..obs import ExecutionStats
+from ..workloads.synthetic import SyntheticConfig, generate
+from .reporting import format_seconds
+
+#: Workload sizes for the shared 5-relation line schema:
+#: N ≈ 5 * (n_dangling + n_results). The explicit ``window=150`` (below
+#: the generator's 300-tick stagger) keeps the dangling mass temporally
+#: disjoint *between* relations, so sub-chain templates return only the
+#: backbone instead of the paper's exploding intermediates — this bench
+#: measures ingest amortization across a fleet, not sweep asymptotics
+#: (``bench.kernels`` covers those), and exploding result sets would
+#: swamp the prepare cost both arms are being compared on.
+SIZES: Dict[str, SyntheticConfig] = {
+    "3k": SyntheticConfig(n_dangling=560, n_results=40, window=150),
+    "10k": SyntheticConfig(n_dangling=1960, n_results=40, window=150),
+}
+
+#: The size the ``--check`` gate re-measures.
+CHECK_SIZES = ("3k",)
+
+DEFAULT_TOLERANCE = 0.15
+
+#: The benchmark forces TIMEFIRST (the kernel-path algorithm) for both
+#: arms, exactly like ``bench.kernels`` — the planner would route line
+#: chains to HYBRID-INTERVAL, which has no kernel path and would turn
+#: this into an algorithm comparison instead of an amortization one.
+ALGORITHM = "timefirst"
+
+
+def _chain(first: int, last: int, reverse: bool = False) -> JoinQuery:
+    """Sub-chain template R{first}..R{last} of the shared line5 schema."""
+    edges = {f"R{k}": (f"x{k}", f"x{k + 1}") for k in range(first, last + 1)}
+    query = JoinQuery(edges)
+    if reverse:
+        query = JoinQuery(edges, attr_order=tuple(reversed(query.attrs)))
+    return query
+
+
+def fleet_queries() -> List[JoinQuery]:
+    """The 10-template standing-query fleet over the line5 schema.
+
+    Four distinct hypergraphs with realistic duplication: the popular
+    line3 template registered three times (once with a different output
+    attribute order), a hot line2 template three times, and the wider
+    line4 / full line5 templates twice each. ``run_batch`` sweeps each
+    distinct hypergraph once and shares/projects rows into duplicates —
+    which is precisely the multi-query amortization under test, so the
+    composition is part of the committed workload definition.
+    """
+    return [
+        _chain(1, 3),
+        _chain(1, 3),
+        _chain(1, 3, reverse=True),
+        _chain(2, 3),
+        _chain(2, 3),
+        _chain(2, 3),
+        _chain(1, 4),
+        _chain(1, 4),
+        _chain(1, 5),
+        _chain(1, 5),
+    ]
+
+
+def _sub_database(query: JoinQuery, database: dict) -> dict:
+    return {name: database[name] for name in query.edge_names}
+
+
+def run_cell(size: str, tau: float = 0.0, repeat: int = 3) -> dict:
+    """Measure one size cell: cold fleet vs prepared batch."""
+    schema_query = JoinQuery.line(5)
+    database = generate(schema_query, SIZES[size])
+    queries = fleet_queries()
+    n = schema_query.input_size(database)
+
+    cold_results = None
+    cold_s = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        cold_results = [
+            temporal_join(
+                query, _sub_database(query, database), tau=tau,
+                algorithm=ALGORITHM, engine="kernel",
+            )
+            for query in queries
+        ]
+        cold_s = min(cold_s, time.perf_counter() - start)
+
+    batch_results = None
+    batch_s = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        artifact = prepare(database)
+        batch_results = run_batch(
+            queries, artifact, tau=tau, algorithm=ALGORITHM
+        )
+        batch_s = min(batch_s, time.perf_counter() - start)
+
+    ok = all(
+        batch.normalized() == cold.normalized()
+        for batch, cold in zip(batch_results, cold_results)
+    )
+
+    # Counter profile from a separate instrumented run, so telemetry
+    # never contaminates the timed numbers.
+    stats = ExecutionStats()
+    artifact = prepare(database, stats=stats)
+    run_batch(queries, artifact, tau=tau, algorithm=ALGORITHM, stats=stats)
+
+    return {
+        "size": size,
+        "input_tuples": n,
+        "tau": tau,
+        "queries": len(queries),
+        "evaluations": stats.get("prepared.batch_evaluations"),
+        "results_per_query": [len(r) for r in batch_results],
+        "cold_seconds": cold_s,
+        "batch_seconds": batch_s,
+        "amortized_speedup": cold_s / batch_s if batch_s > 0 else float("inf"),
+        "ok": ok,
+        "prepared": {
+            "sort_calls": stats.get("kernel.sort_calls"),
+            "reuse": stats.get("prepared.reuse"),
+            "shared_results": stats.get("prepared.shared_results"),
+            "plan_cache_hits": stats.get("prepared.plan_cache_hits"),
+            "restrict_cache_hits": stats.get("prepared.restrict_cache_hits"),
+            "fallback_queries": stats.get("prepared.fallback_queries"),
+        },
+    }
+
+
+def run_bench(
+    sizes: Sequence[str] = ("3k", "10k"),
+    tau: float = 0.0,
+    repeat: int = 3,
+) -> dict:
+    """Measure every size cell and return the JSON document."""
+    cells = [run_cell(size, tau=tau, repeat=repeat) for size in sizes]
+    return {
+        "benchmark": "prepared",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "generator": "workloads.synthetic",
+            "schema": "line5",
+            "fleet": "10 templates / 4 distinct hypergraphs (see "
+                     "bench.prepared.fleet_queries)",
+            "algorithm": ALGORITHM,
+            "tau": tau,
+            "repeat": repeat,
+            "sizes": {s: SIZES[s].__dict__ for s in sizes},
+        },
+        "cells": cells,
+        "rendered": render_cells(cells),
+    }
+
+
+def render_cells(cells: Sequence[dict]) -> str:
+    """Compact ASCII table of the cell list."""
+    header = (
+        f"{'size':>5} {'tuples':>7} {'queries':>7} {'cold':>9} "
+        f"{'batch':>9} {'speedup':>8} {'sorts':>5} {'ok':>3}"
+    )
+    lines = [
+        "Cold fleet vs prepared batch (timefirst kernel)",
+        header,
+        "-" * len(header),
+    ]
+    for c in cells:
+        lines.append(
+            f"{c['size']:>5} {c['input_tuples']:>7} {c['queries']:>7} "
+            f"{format_seconds(c['cold_seconds']):>9} "
+            f"{format_seconds(c['batch_seconds']):>9} "
+            f"{c['amortized_speedup']:>7.2f}x "
+            f"{c['prepared']['sort_calls']:>5} "
+            f"{'ok' if c['ok'] else 'BAD':>3}"
+        )
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    doc: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Gate: compare measured amortized speedups against the baseline.
+
+    Returns the list of failure messages (empty = gate passes). The
+    comparison is on the cold/batch *ratio*, which cancels machine
+    speed; a cell fails when the batch is slower than the cold fleet
+    outright, when its ratio regressed more than ``tolerance`` below
+    the baseline ratio, when the batch re-sorted the event stream
+    (``sort_calls != 1`` at τ=0 breaks the amortization contract), or
+    when batch and cold results disagreed.
+    """
+    base = {c["size"]: c for c in baseline.get("cells", [])}
+    failures: List[str] = []
+    for cell in doc["cells"]:
+        label = f"fleet/{cell['size']}"
+        if not cell["ok"]:
+            failures.append(f"{label}: batch and cold results differ")
+            continue
+        if cell["tau"] == 0 and cell["prepared"]["sort_calls"] != 1:
+            failures.append(
+                f"{label}: {cell['prepared']['sort_calls']} event sorts "
+                "across the batch (amortization contract is exactly 1)"
+            )
+            continue
+        if cell["amortized_speedup"] < 1.0:
+            failures.append(
+                f"{label}: batch slower than cold fleet "
+                f"({cell['amortized_speedup']:.2f}x < 1.00x)"
+            )
+            continue
+        ref = base.get(cell["size"])
+        if ref is None:
+            continue  # new cell; nothing to regress against
+        floor = ref["amortized_speedup"] * (1.0 - tolerance)
+        if cell["amortized_speedup"] < floor:
+            failures.append(
+                f"{label}: amortized speedup {cell['amortized_speedup']:.2f}x "
+                f"regressed below {floor:.2f}x (baseline "
+                f"{ref['amortized_speedup']:.2f}x - {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.prepared",
+        description="Cold-vs-prepared amortization benchmark (JSON + gate)",
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the measured JSON document here")
+    parser.add_argument("--check", action="store_true",
+                        help="regression-gate mode: compare vs --baseline")
+    parser.add_argument("--baseline", default="BENCH_prepared.json",
+                        help="committed baseline JSON (check mode)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative speedup regression "
+                             "(default 0.15)")
+    parser.add_argument("--sizes", nargs="+", default=None,
+                        choices=sorted(SIZES),
+                        help="sizes to measure (default: all; "
+                             f"check mode: {' '.join(CHECK_SIZES)})")
+    parser.add_argument("--tau", type=float, default=0.0)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or (list(CHECK_SIZES) if args.check else ["3k", "10k"])
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    doc = run_bench(sizes=sizes, tau=args.tau, repeat=args.repeat)
+    print(doc["rendered"])
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_against_baseline(doc, baseline, args.tolerance)
+        if failures:
+            print("\nprepared benchmark gate FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nprepared benchmark gate passed "
+              f"(tolerance {args.tolerance:.0%} vs {args.baseline})")
+        return 0
+
+    return 0 if all(c["ok"] for c in doc["cells"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

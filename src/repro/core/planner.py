@@ -67,6 +67,36 @@ class Plan:
         return "\n".join(lines)
 
 
+def plan_signature(query: JoinQuery) -> Tuple:
+    """Hashable shape key of ``query`` for plan caching.
+
+    Two queries share a signature iff they have the same hypergraph —
+    same edge names bound to the same attribute tuples — and the same
+    output attribute order. Everything :func:`plan` looks at
+    (classification, widths, guardedness) is a function of the
+    hypergraph alone, so equal signatures guarantee equal plans; the
+    attribute order is included because a cached plan is reused together
+    with query-level artifacts (result layouts) that do depend on it.
+    The plan cache in :class:`repro.kernels.prepared.PreparedDatabase`
+    keys on this plus the requested algorithm name.
+    """
+    edges = tuple(
+        (name, tuple(query.edge(name))) for name in sorted(query.edge_names)
+    )
+    return edges, tuple(query.attrs)
+
+
+def hypergraph_signature(query: JoinQuery) -> Tuple:
+    """Like :func:`plan_signature` but ignoring output attribute order.
+
+    Queries with equal hypergraph signatures have identical result
+    *sets* up to a column permutation — the batch executor uses this to
+    evaluate each distinct hypergraph once and project the shared rows
+    into every requested attribute order.
+    """
+    return plan_signature(query)[0]
+
+
 def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
     """Run the Figure 7 guideline on ``query`` (O(1) data complexity).
 

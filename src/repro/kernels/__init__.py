@@ -14,6 +14,10 @@ Layout:
   row-id driven sweep states (Theorem 6 / Theorem 9 structures).
 * :mod:`~repro.kernels.engine` — the τ-aware driver and the
   ``supports_kernel`` capability probe used by the dispatch layer.
+* :mod:`~repro.kernels.prepared` — pay the ingest once per *database*:
+  :func:`prepare` / :class:`PreparedDatabase` /
+  :func:`run_batch` amortize interning, ranking and the event sort
+  across a whole standing-query fleet.
 """
 
 from .columns import (
@@ -21,7 +25,9 @@ from .columns import (
     build_columns,
     deintern_results,
     shard_row_ids,
+    shrink_columns,
 )
+from .prepared import PreparedDatabase, prepare, run_batch
 from .engine import (
     KERNEL_ALGORITHMS,
     kernel_sweep,
@@ -38,12 +44,16 @@ __all__ = [
     "KernelColumns",
     "KernelGenericState",
     "KernelHierarchicalState",
+    "PreparedDatabase",
     "build_columns",
     "deintern_results",
     "kernel_sweep",
     "kernel_timefirst_join",
     "make_state",
+    "prepare",
     "prepare_run",
+    "run_batch",
     "shard_row_ids",
+    "shrink_columns",
     "supports_kernel",
 ]

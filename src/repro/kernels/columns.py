@@ -3,7 +3,8 @@
 This module is the *only* place in :mod:`repro.kernels` that touches
 ``(values, Interval)`` object rows (the ``kernel-no-object-rows`` lint
 rule enforces it). It converts a database into a :class:`KernelColumns`
-bundle once per ``temporal_join`` call:
+bundle once per ``temporal_join`` call — or once per *database* via
+:func:`repro.kernels.prepared.prepare`:
 
 * **Value interning** — every attribute value is mapped to a dense int
   per attribute domain, in deterministic first-appearance order
@@ -19,17 +20,26 @@ bundle once per ``temporal_join`` call:
 * **Pre-sorted event codes** — the Algorithm 1 event list is flattened
   into one sorted list of ints, ``(rank * 2 + kind) * n_rows + row``,
   whose integer order equals the object path's ``(time, kind, seq)``
-  order. Sorting happens exactly once per call (``kernel.sort_calls``).
+  order. Sorting happens once per ingest (``kernel.sort_calls``);
+  derived columns — shard subsets (:meth:`KernelColumns.subset`) and
+  relation restrictions (:meth:`KernelColumns.restrict`) — *filter* the
+  parent's sorted stream under a monotone rank/row remap instead of
+  re-sorting, so the sort count stays at one however many queries sweep
+  the same prepared columns.
 
-Everything here is pure Python and picklable, so shard columns can ship
-to spawn-based worker processes without object rows.
+Emission intervals are **not** stored: :meth:`KernelColumns.intervals`
+reconstructs them from ``rank_times`` on demand and the reconstruction
+cache is excluded from pickling, so shard columns ship to spawn-based
+worker processes without a single object row.
 """
 
 from __future__ import annotations
 
+import math
 from array import array
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.errors import InvariantError
 from ..core.interval import Interval, Number
 from ..core.relation import TemporalRelation
 from ..core.result import JoinResultSet
@@ -52,7 +62,22 @@ class KernelColumns:
         "relations",
         "row_relation",
         "row_values",
-        "row_intervals",
+        "row_lo",
+        "row_hi",
+        "rank_times",
+        "event_codes",
+        "domains",
+        "n_rows",
+        "_interval_cache",
+    )
+
+    #: Pickled fields — everything except the lazy interval cache, which
+    #: each process rebuilds on first use. Keeping object rows out of
+    #: the payload is the spawn contract the pickle-inspection test pins.
+    _STATE = (
+        "relations",
+        "row_relation",
+        "row_values",
         "row_lo",
         "row_hi",
         "rank_times",
@@ -66,7 +91,6 @@ class KernelColumns:
         relations: Tuple[str, ...],
         row_relation: List[str],
         row_values: List[Tuple[int, ...]],
-        row_intervals: List[Interval],
         row_lo: array,
         row_hi: array,
         rank_times: List[Number],
@@ -76,34 +100,90 @@ class KernelColumns:
         self.relations = relations
         self.row_relation = row_relation
         self.row_values = row_values
-        self.row_intervals = row_intervals
         self.row_lo = row_lo
         self.row_hi = row_hi
         self.rank_times = rank_times
         self.event_codes = event_codes
         self.domains = domains
         self.n_rows = len(row_values)
+        self._interval_cache: Optional[List[Interval]] = None
 
-    # Explicit state plumbing: __slots__ classes pickle via protocol 2+
-    # by default, but being explicit keeps the spawn contract obvious.
+    # Explicit state plumbing: the interval cache must never cross a
+    # process boundary (its Interval objects are exactly the payload the
+    # docstring promises is absent), so pickling is restricted to
+    # ``_STATE`` and the cache is re-initialised empty on load.
     def __getstate__(self):
-        return tuple(getattr(self, name) for name in self.__slots__)
+        return tuple(getattr(self, name) for name in self._STATE)
 
     def __setstate__(self, state) -> None:
-        for name, value in zip(self.__slots__, state):
+        for name, value in zip(self._STATE, state):
             object.__setattr__(self, name, value)
+        object.__setattr__(self, "_interval_cache", None)
 
     # ------------------------------------------------------------------
+    def intervals(self) -> List[Interval]:
+        """Per-row emission intervals, reconstructed from rank space.
+
+        ``rank_times`` round-trips endpoints exactly (it stores the
+        original values), so the reconstructed intervals are
+        value-identical to the source rows'. The list is cached per
+        process; the cache never travels in the pickle payload.
+        """
+        cached = self._interval_cache
+        if cached is None:
+            rank_times = self.rank_times
+            cached = [
+                Interval(rank_times[lo], rank_times[hi])
+                for lo, hi in zip(self.row_lo, self.row_hi)
+            ]
+            self._interval_cache = cached
+        return cached
+
     def subset(self, row_ids: Sequence[int]) -> "KernelColumns":
         """Columns restricted to ``row_ids``, re-ranked locally.
 
         Used to build shard payloads: each shard gets its own dense row
         ids, local endpoint ranks and pre-sorted event codes, while the
         de-intern ``domains`` tables are shared by reference (they are
-        read-only after construction).
+        read-only after construction). ``row_ids`` must be strictly
+        increasing — local row order then preserves the parent's event
+        ``seq`` tie-break order, which lets the local event codes be
+        *derived* from the parent's sorted stream (a filter under a
+        monotone remap) instead of re-sorted.
         """
+        return self._subset(row_ids, self.relations)
+
+    def restrict(self, relations: Sequence[str]) -> "KernelColumns":
+        """Columns restricted to the rows of the named relations.
+
+        The multi-query path: one prepared database, many queries each
+        touching a subset of its relations. Relation order follows the
+        parent columns (ingest order), never the argument order, so row
+        ids keep the parent's ``seq`` tie-break order.
+        """
+        keep = frozenset(relations)
+        missing = keep - set(self.relations)
+        if missing:
+            raise InvariantError(
+                f"cannot restrict columns to unknown relations {sorted(missing)}"
+            )
+        if keep == set(self.relations):
+            return self
+        row_relation = self.row_relation
+        row_ids = [
+            rid for rid in range(self.n_rows) if row_relation[rid] in keep
+        ]
+        kept = tuple(name for name in self.relations if name in keep)
+        return self._subset(row_ids, kept)
+
+    def _subset(
+        self, row_ids: Sequence[int], relations: Tuple[str, ...]
+    ) -> "KernelColumns":
+        if any(b <= a for a, b in zip(row_ids, row_ids[1:])):
+            raise InvariantError(
+                "subset row_ids must be strictly increasing (parent seq order)"
+            )
         row_values = [self.row_values[r] for r in row_ids]
-        row_intervals = [self.row_intervals[r] for r in row_ids]
         row_relation = [self.row_relation[r] for r in row_ids]
         lo_ranks = [self.row_lo[r] for r in row_ids]
         hi_ranks = [self.row_hi[r] for r in row_ids]
@@ -112,18 +192,44 @@ class KernelColumns:
         rank_times = [self.rank_times[rank] for rank in used]
         row_lo = array("q", (remap[r] for r in lo_ranks))
         row_hi = array("q", (remap[r] for r in hi_ranks))
-        event_codes = _sorted_event_codes(row_lo, row_hi)
         return KernelColumns(
-            relations=self.relations,
+            relations=relations,
             row_relation=row_relation,
             row_values=row_values,
-            row_intervals=row_intervals,
             row_lo=row_lo,
             row_hi=row_hi,
             rank_times=rank_times,
-            event_codes=event_codes,
+            event_codes=self._derive_event_codes(row_ids, remap),
             domains=self.domains,
         )
+
+    def _derive_event_codes(
+        self, row_ids: Sequence[int], remap: Dict[int, int]
+    ) -> List[int]:
+        """Filter the parent's sorted event stream down to ``row_ids``.
+
+        Both remaps are monotone — local ranks preserve parent rank
+        order, local row ids preserve parent row-id order (``row_ids``
+        ascending) — so the filtered stream is already sorted in the
+        local ``(rank, kind, row)`` code order. No sort happens here;
+        that is what keeps ``kernel.sort_calls`` at one per ingest.
+        """
+        k = len(row_ids)
+        if k == 0:
+            return []
+        n = self.n_rows
+        local_of = {rid: local for local, rid in enumerate(row_ids)}
+        get = local_of.get
+        codes: List[int] = []
+        append = codes.append
+        for code in self.event_codes:
+            local = get(code % n)
+            if local is not None:
+                rank_kind = code // n  # parent rank * 2 + kind
+                append(
+                    ((remap[rank_kind >> 1] << 1) | (rank_kind & 1)) * k + local
+                )
+        return codes
 
     def timeline(self) -> Timeline:
         """Concurrency timeline straight from the sorted event arrays.
@@ -244,12 +350,66 @@ def _build(
         relations=tuple(database),
         row_relation=row_relation,
         row_values=row_values,
-        row_intervals=row_intervals,
         row_lo=row_lo,
         row_hi=row_hi,
         rank_times=rank_times,
         event_codes=event_codes,
         domains=domains,
+    )
+
+
+def shrink_columns(
+    columns: KernelColumns,
+    tau: Number,
+    stats: Optional[ExecutionStats] = None,
+) -> KernelColumns:
+    """Derive the τ/2-shrunk columns of ``columns`` — in rank space.
+
+    Mirrors :func:`repro.core.durability.shrink_database` exactly —
+    ``lo + τ/2`` / ``hi - τ/2`` with infinite endpoints as fixed points,
+    rows whose shrunk interval vanishes dropped (in row order, so the
+    survivors keep the event ``seq`` tie-break order of the equivalent
+    shrunk database) — without materialising a single object row. The
+    shrunk endpoints are new values, so this is the one derivation that
+    must re-rank and re-sort (counted in ``kernel.sort_calls``); the
+    prepared engine caches the result per τ.
+    """
+    if tau == 0:
+        return columns
+    half = tau / 2
+    rank_times = columns.rank_times
+    isinf = math.isinf
+    keep: List[int] = []
+    los: List[Number] = []
+    his: List[Number] = []
+    for rid in range(columns.n_rows):
+        lo = rank_times[columns.row_lo[rid]]
+        hi = rank_times[columns.row_hi[rid]]
+        if not isinf(lo):
+            lo = lo + half
+        if not isinf(hi):
+            hi = hi - half
+        if lo > hi:
+            continue
+        keep.append(rid)
+        los.append(lo)
+        his.append(hi)
+    new_times = sorted(set(los) | set(his))
+    rank_of = {t: rank for rank, t in enumerate(new_times)}
+    row_lo = array("q", (rank_of[t] for t in los))
+    row_hi = array("q", (rank_of[t] for t in his))
+    event_codes = _sorted_event_codes(row_lo, row_hi)
+    if stats is not None:
+        stats.incr("kernel.sort_calls")
+    return KernelColumns(
+        relations=columns.relations,
+        row_relation=[columns.row_relation[r] for r in keep],
+        row_values=[columns.row_values[r] for r in keep],
+        row_lo=row_lo,
+        row_hi=row_hi,
+        rank_times=new_times,
+        event_codes=event_codes,
+        domains=columns.domains,
     )
 
 
@@ -284,18 +444,20 @@ def shard_row_ids(
     interval back by τ/2 first — a result's every constituent then
     reaches the shard that owns the result's endpoint. Infinite
     endpoints are fixed points of the expansion (IEEE ``±inf ± x``).
+    Endpoints come straight from ``rank_times`` — no object rows.
     """
     import bisect
 
     n_shards = len(cuts) + 1
     shards: List[List[int]] = [[] for _ in range(n_shards)]
     half = tau / 2 if tau else 0
-    intervals = columns.row_intervals
+    rank_times = columns.rank_times
+    row_lo = columns.row_lo
+    row_hi = columns.row_hi
     right = bisect.bisect_right
     for rid in range(columns.n_rows):
-        interval = intervals[rid]
-        first = right(cuts, interval.lo - half)
-        last = right(cuts, interval.hi + half)
+        first = right(cuts, rank_times[row_lo[rid]] - half)
+        last = right(cuts, rank_times[row_hi[rid]] + half)
         for shard in range(first, last + 1):
             shards[shard].append(rid)
     return shards

@@ -41,7 +41,7 @@ class KernelGenericState(GenericGHDState):
         super().__init__(query, stats=stats)
         self._row_relation = columns.row_relation
         self._row_values = columns.row_values
-        self._row_interval = columns.row_intervals
+        self._row_interval = columns.intervals()
         # Per relation: (active dict, attr-index dict, edge attrs) —
         # one lookup per event instead of three.
         self._row_state: Dict[str, tuple] = {

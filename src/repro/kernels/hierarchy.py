@@ -88,7 +88,7 @@ class KernelHierarchicalState(HierarchicalState):
         self._row_leaf_parent = row_leaf_parent
         self._row_chain = row_chain
         self._row_path = row_path
-        self._row_interval = columns.row_intervals
+        self._row_interval = columns.intervals()
         self._row_relation = row_names
 
     # ------------------------------------------------------------------

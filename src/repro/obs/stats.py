@@ -13,7 +13,10 @@ Four recording primitives cover everything the algorithms report:
   sizes, scan lengths), stored as ``name.count`` / ``name.total`` /
   ``name.max`` so no sample list is retained;
 * :meth:`timer` — monotonic (``perf_counter``) phase timers, accumulated
-  under ``phase.*`` keys in :attr:`timers`.
+  under ``phase.*`` keys in :attr:`timers`;
+* :meth:`note` — string annotations (e.g. ``kernel.fallback_reason``)
+  for facts that are not numbers, kept in :attr:`notes` (last write
+  wins, like an attribute).
 
 The counter glossary lives in ``DESIGN.md`` (section "Execution
 telemetry"); tests assert exact values for the load-bearing ones.
@@ -29,11 +32,12 @@ from typing import Dict, Iterator, Optional
 class ExecutionStats:
     """Mutable telemetry bag for one join execution (a recording Tracer)."""
 
-    __slots__ = ("counters", "timers")
+    __slots__ = ("counters", "timers", "notes")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}
+        self.notes: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Recording primitives (the Tracer protocol)
@@ -74,6 +78,10 @@ class ExecutionStats:
         """Add a pre-measured duration to ``timers[phase]``."""
         self.timers[phase] = self.timers.get(phase, 0.0) + seconds
 
+    def note(self, name: str, text: str) -> None:
+        """Record a string annotation (last write wins)."""
+        self.notes[name] = text
+
     # ------------------------------------------------------------------
     # Read access
     # ------------------------------------------------------------------
@@ -87,7 +95,7 @@ class ExecutionStats:
         return name in self.counters
 
     def __bool__(self) -> bool:
-        return bool(self.counters) or bool(self.timers)
+        return bool(self.counters) or bool(self.timers) or bool(self.notes)
 
     def mean(self, name: str) -> Optional[float]:
         """Mean of an :meth:`observe` distribution, or ``None`` if unseen."""
@@ -96,10 +104,11 @@ class ExecutionStats:
             return None
         return self.counters.get(name + ".total", 0) / count
 
-    def as_dict(self) -> Dict[str, float]:
-        """Flat ``{name: value}`` snapshot of counters and timers."""
-        out: Dict[str, float] = dict(self.counters)
+    def as_dict(self) -> Dict[str, object]:
+        """Flat ``{name: value}`` snapshot of counters, timers and notes."""
+        out: Dict[str, object] = dict(self.counters)
         out.update(self.timers)
+        out.update(self.notes)
         return out
 
     # ------------------------------------------------------------------
@@ -114,22 +123,26 @@ class ExecutionStats:
                 self.incr(name, value)
         for phase, seconds in other.timers.items():
             self.timers[phase] = self.timers.get(phase, 0.0) + seconds
+        self.notes.update(other.notes)
         return self
 
     def render(self) -> str:
-        """Aligned ``name  value`` listing: counters first, then timers."""
+        """Aligned ``name  value`` listing: counters, timers, then notes."""
         lines = []
         width = max(
-            (len(n) for n in (*self.counters, *self.timers)), default=0
+            (len(n) for n in (*self.counters, *self.timers, *self.notes)),
+            default=0,
         )
         for name in sorted(self.counters):
             lines.append(f"{name:<{width}}  {self.counters[name]}")
         for phase in sorted(self.timers):
             lines.append(f"{phase:<{width}}  {self.timers[phase] * 1e3:.2f}ms")
+        for name in sorted(self.notes):
+            lines.append(f"{name:<{width}}  {self.notes[name]}")
         return "\n".join(lines) if lines else "(no telemetry recorded)"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ExecutionStats(counters={len(self.counters)}, "
-            f"timers={len(self.timers)})"
+            f"timers={len(self.timers)}, notes={len(self.notes)})"
         )

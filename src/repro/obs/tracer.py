@@ -39,6 +39,10 @@ class Tracer(Protocol):
         """Context manager accumulating wall-clock time for ``phase``."""
         ...
 
+    def note(self, name: str, text: str) -> None:
+        """Record a string annotation (e.g. a fallback reason)."""
+        ...
+
 
 class NullTracer:
     """Tracer that records nothing (safe to share; it has no state)."""
@@ -57,6 +61,9 @@ class NullTracer:
     @contextmanager
     def timer(self, phase: str) -> Iterator[None]:
         yield
+
+    def note(self, name: str, text: str) -> None:
+        pass
 
 
 NULL_TRACER = NullTracer()

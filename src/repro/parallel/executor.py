@@ -41,7 +41,14 @@ from .partition import (
     replication_factor,
     shard_databases,
 )
-from .worker import ShardOutcome, ShardTask, run_shard
+from .worker import (
+    BatchShardOutcome,
+    BatchShardTask,
+    ShardOutcome,
+    ShardTask,
+    run_batch_shard,
+    run_shard,
+)
 
 #: Execution modes accepted by :func:`parallel_temporal_join`.
 MODES = ("process", "inline")
@@ -57,6 +64,7 @@ def parallel_temporal_join(
     cuts: Optional[Sequence[Number]] = None,
     stats: Optional[ExecutionStats] = None,
     engine: str = "auto",
+    prepared=None,
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate a τ-durable temporal join across ``workers`` time shards.
@@ -79,6 +87,11 @@ def parallel_temporal_join(
         kernel path the parent interns the (shrunk, reduced) instance
         once and ships each worker pre-sorted interned columns instead
         of object rows; workers only sweep, de-intern and filter.
+    prepared:
+        Optional :class:`~repro.kernels.prepared.PreparedDatabase`
+        matching ``database``. On the kernel path shard columns are
+        sliced from the prepared τ-view instead of re-interning; the
+        caller (``temporal_join``) has already validated the artifact.
 
     Returns the same :class:`JoinResultSet` (up to row order) as the
     serial ``temporal_join`` with the same arguments; the merge path
@@ -87,8 +100,8 @@ def parallel_temporal_join(
     from ..algorithms.registry import (
         _check_engine,
         _check_tau,
+        _engine_decision,
         _ensure_loaded,
-        _kernel_eligible,
         _resolve_auto,
     )
 
@@ -101,16 +114,24 @@ def parallel_temporal_join(
     if workers < 1:
         raise QueryError(f"workers must be >= 1, got {workers}")
     if algorithm == "auto":
-        algorithm, _, kwargs = _resolve_auto(query, kwargs)
+        if prepared is not None:
+            choice = prepared.cached_plan(query, stats=stats)
+            algorithm, _, kwargs = _resolve_auto(query, kwargs, choice=choice)
+        else:
+            algorithm, _, kwargs = _resolve_auto(query, kwargs)
 
     if cuts is not None:
         partition = TimePartition(tuple(cuts))
     else:
         partition = partition_timeline(database, workers)
 
-    if _kernel_eligible(algorithm, engine, kwargs):
+    used_engine, fallback_reason = _engine_decision(algorithm, engine, kwargs)
+    if fallback_reason is not None and stats is not None:
+        stats.note("kernel.fallback_reason", fallback_reason)
+    if used_engine == "kernel":
         tasks, replicated = _kernel_shard_tasks(
-            query, database, tau, algorithm, partition, stats
+            query, database, tau, algorithm, partition, stats,
+            prepared=prepared,
         )
     else:
         shard_dbs = shard_databases(database, partition)
@@ -151,21 +172,33 @@ def _kernel_shard_tasks(
     algorithm: str,
     partition: TimePartition,
     stats: Optional[ExecutionStats],
+    prepared=None,
 ):
     """Build kernel-engine shard tasks: interned columns, no object rows.
 
     The instance is prepared (validated, τ/2-shrunk, reduced) and
-    interned *once* in the parent; each shard receives the column subset
-    of every row whose expanded (original) interval overlaps its window,
-    re-ranked locally with its own pre-sorted event codes. Assignment by
-    expanded intervals is what makes ownership exact: a result's
-    endpoint owner sees all of the result's constituent rows (their
-    expanded intervals each contain the expanded result endpoint).
+    interned *once* in the parent — or, with a
+    :class:`~repro.kernels.prepared.PreparedDatabase`, not at all: the
+    artifact's cached τ-view restricted to the query's relations stands
+    in for the cold ``prepare_run`` + ``build_columns`` pair (queries
+    needing the per-query r-hierarchical reduction take the cold branch
+    regardless). Each shard receives the column subset of every row
+    whose expanded (original) interval overlaps its window, re-ranked
+    locally with its own pre-sorted event codes. Assignment by expanded
+    intervals is what makes ownership exact: a result's endpoint owner
+    sees all of the result's constituent rows (their expanded intervals
+    each contain the expanded result endpoint).
     """
     from ..kernels import build_columns, prepare_run, shard_row_ids
+    from ..kernels.prepared import _record_reuse, needs_reduction
 
-    run_query, run_db = prepare_run(query, database, tau, stats=stats)
-    columns = build_columns(run_db, stats=stats)
+    if prepared is not None and not needs_reduction(query):
+        run_query = query
+        columns = prepared.columns_for(query, tau, stats=stats)
+        _record_reuse(prepared, columns, stats)
+    else:
+        run_query, run_db = prepare_run(query, database, tau, stats=stats)
+        columns = build_columns(run_db, stats=stats)
     assignments = shard_row_ids(columns, partition.cuts, tau)
     replicated = sum(len(rids) for rids in assignments) - columns.n_rows
     tasks = [
@@ -196,3 +229,21 @@ def _run_pool(tasks: Sequence[ShardTask], n_procs: int) -> Sequence[ShardOutcome
     ctx = multiprocessing.get_context("spawn")
     with ctx.Pool(processes=n_procs) as pool:
         return pool.map(run_shard, tasks, chunksize=1)
+
+
+def run_batch_tasks(
+    tasks: Sequence[BatchShardTask], n_procs: int, mode: str
+) -> Sequence[BatchShardOutcome]:
+    """Execute a prepared batch's shard tasks (pool or inline).
+
+    The batch counterpart of the fan-out inside
+    :func:`parallel_temporal_join`: same spawn-based pool, same inline
+    debugging mode, one task per shard — but each task carries the whole
+    query fleet, so the shard columns cross the process boundary once
+    per *batch*. Called by :func:`repro.kernels.prepared.run_batch`.
+    """
+    if mode == "process" and n_procs > 1:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=n_procs) as pool:
+            return pool.map(run_batch_shard, tasks, chunksize=1)
+    return [run_batch_shard(task) for task in tasks]

@@ -52,6 +52,39 @@ class ShardTask:
 
 
 @dataclass
+class BatchShardTask:
+    """One shard's share of a whole prepared-batch fan-out.
+
+    The kernel-only sibling of :class:`ShardTask` used by
+    :func:`repro.kernels.prepared.run_batch`: one column subset
+    (``columns`` — the shard's slice of the prepared τ-view, all
+    relations) plus *every* kernel-eligible run query of the batch. The
+    worker restricts the shard columns per distinct relation subset
+    locally and sweeps each query in turn, so the shard payload crosses
+    the process boundary exactly once per batch instead of once per
+    query — and, as always on the kernel path, contains no object rows.
+    """
+
+    shard: int
+    queries: List[JoinQuery]
+    tau: Number
+    cuts: Tuple[Number, ...]
+    columns: object  # repro.kernels.KernelColumns
+    collect_stats: bool = False
+
+
+@dataclass
+class BatchShardOutcome:
+    """One shard's owned rows for every query of a batch."""
+
+    shard: int
+    rows_per_query: List[List[ResultRow]]
+    input_size: int
+    seconds: float
+    stats: Optional[ExecutionStats] = None
+
+
+@dataclass
 class ShardOutcome:
     """One shard's owned results plus its execution profile."""
 
@@ -100,6 +133,53 @@ def run_shard(task: ShardTask) -> ShardOutcome:
         raw_results=len(result),
         owned_results=len(owned),
         seconds=seconds,
+        stats=stats,
+    )
+
+
+def run_batch_shard(task: BatchShardTask) -> BatchShardOutcome:
+    """Sweep every batch query over one shard's prepared columns.
+
+    Mirrors the kernel arm of :func:`run_shard` query by query — make
+    state, sweep, de-intern, expand, ownership-filter — but reuses the
+    shard's column payload (and its per-relation-subset restrictions)
+    across the whole batch. Spawn-safe for the same reasons as
+    :func:`run_shard`: module-level function, picklable dataclasses.
+    """
+    from ..kernels import deintern_results, kernel_sweep, make_state
+
+    partition = TimePartition(task.cuts)
+    stats = ExecutionStats() if task.collect_stats else None
+    shard = task.shard
+    owner = partition.owner
+    half = task.tau / 2 if task.tau else 0
+    all_relations = set(task.columns.relations)
+
+    start = time.perf_counter()
+    restricted: Dict[Tuple[str, ...], object] = {}
+    rows_per_query: List[List[ResultRow]] = []
+    for query in task.queries:
+        keep = tuple(sorted(query.edge_names))
+        columns = restricted.get(keep)
+        if columns is None:
+            columns = (
+                task.columns
+                if set(keep) == all_relations
+                else task.columns.restrict(keep)
+            )
+            restricted[keep] = columns
+        state = make_state(query, columns, stats=stats)
+        result = kernel_sweep(query, columns, state, stats=stats)
+        result = deintern_results(columns.domains, result)
+        result = result.expand_intervals(half)
+        rows_per_query.append(
+            [row for row in result.rows if owner(row[1].hi) == shard]
+        )
+    return BatchShardOutcome(
+        shard=shard,
+        rows_per_query=rows_per_query,
+        input_size=task.columns.n_rows,
+        seconds=time.perf_counter() - start,
         stats=stats,
     )
 

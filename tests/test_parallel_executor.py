@@ -229,9 +229,12 @@ class TestRegistryRouting:
         stripped = strip_unsupported_kwargs(joinfirst_join, kwargs)
         assert stripped == {"workers": 4, "parallel_mode": "inline"}
         # "engine" joined the dispatch-layer kwargs with the kernel
-        # substrate: algorithms without a kernel fast path must have it
-        # stripped rather than see it and error.
-        assert EXECUTOR_KWARGS == {"workers", "parallel_mode", "engine"}
+        # substrate, "prepared" with the prepared-columns engine:
+        # algorithms without a kernel fast path must have both stripped
+        # rather than see them and error.
+        assert EXECUTOR_KWARGS == {
+            "workers", "parallel_mode", "engine", "prepared",
+        }
 
     def test_strip_keeps_engine_kwarg(self):
         from repro.algorithms.joinfirst import joinfirst_join
