@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check examples figures clean
+.PHONY: install test lint analyze bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -56,6 +56,19 @@ bench-prepared:
 bench-prepared-check:
 	PYTHONPATH=src python -m repro.bench.prepared --check \
 		--baseline BENCH_prepared.json --out BENCH_prepared_check.json
+
+# Standing-query service over the Figure-9 workloads (TPC-E star τ=170,
+# LDBC line τ=11): one shared ingest pass feeding a 3-query fleet;
+# refreshes the committed BENCH_service.json.
+bench-service:
+	PYTHONPATH=src python -m repro.bench.service --out BENCH_service.json
+
+# Smoke gate: re-measures the smoke size and fails if any standing
+# query's snapshot differs from the offline temporal_join, if the fleet
+# consumed more than one ingest pass, or if template dedup broke.
+bench-service-check:
+	PYTHONPATH=src python -m repro.bench.service --check \
+		--baseline BENCH_service.json --out BENCH_service_check.json
 
 figures: bench
 	@cat benchmarks/results/*.txt

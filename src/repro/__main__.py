@@ -4,11 +4,15 @@ Runs a temporal join of the requested family over a small synthetic
 instance, prints the planner's Figure-7 decision, the cost-based
 advisor's data-aware ranking, and a timing comparison of every
 applicable algorithm. Intended as a zero-setup tour of the library.
+
+``python -m repro serve [...]`` instead drives the standing-query
+streaming service (see :mod:`repro.serve.cli`).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 
 from .algorithms.registry import (
@@ -36,6 +40,12 @@ FAMILIES = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Temporal multi-way join demo (SIGMOD 2022 reproduction)",

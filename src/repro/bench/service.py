@@ -1,0 +1,315 @@
+"""Standing-query service benchmark: the Figure-9 workloads, served.
+
+``make bench-service`` runs this module to produce ``BENCH_service.json``
+— the committed record of :class:`repro.serve.TemporalJoinService`
+streaming the paper's two Figure-9 workloads (the TPC-E star self-join
+at τ = 170 and the LDBC-SNB line at τ = 11) through *one shared ingest
+pass* into a small standing-query fleet.
+
+Each cell registers three standing queries over two distinct templates —
+the workload's primary query, a sub-template over a prefix of its
+relations, and a duplicate of the primary (exercising the template dedup
+path: real registries repeat popular templates) — then bulk-ingests the
+stored database through the live broker. The cell records:
+
+* **correctness** — every handle's snapshot must equal the offline
+  :func:`~repro.algorithms.registry.temporal_join` of its query, and the
+  whole fleet must have been fed by exactly one ingest pass
+  (``serve.ingest_passes == 1``). This is the CI gate; timings are not.
+* **load numbers** — offline per-query total vs the one served pass,
+  ingest throughput (tuples/s), emission event-time lag, peak active-set
+  size, buffer depths. Absolute seconds are machine noise; they are
+  recorded for the human reading the JSON, not for the gate.
+
+Two modes::
+
+    python -m repro.bench.service --out BENCH_service.json
+        Full run (all cells), writes the JSON document.
+
+    python -m repro.bench.service --check --baseline BENCH_service.json
+        Smoke gate: re-measures the smoke size of every case and fails
+        (exit 1) on any correctness violation — snapshot/offline
+        mismatch, a second ingest pass, or a dead dedup path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import temporal_join
+from ..core.query import JoinQuery, self_join_database
+from ..obs import ExecutionStats
+from ..serve import TemporalJoinService
+from ..workloads import ldbc, tpce
+from .reporting import format_seconds
+
+#: Input sizes (the workload's own N knob) per benchmark size label.
+SIZES: Dict[str, Dict[str, int]] = {
+    "smoke": {"tpce_star_tau170": 400, "ldbc_line_tau11": 300},
+    "load": {"tpce_star_tau170": 1600, "ldbc_line_tau11": 1200},
+}
+
+#: The size the ``--check`` gate re-measures.
+CHECK_SIZES = ("smoke",)
+
+
+def tpce_case(n: int):
+    """Q_tpce star (τ=170): holdings self-join, 3-way primary + 2-way sub."""
+    config = tpce.TPCEConfig(
+        n_customers=max(40, n // 6), n_securities=max(12, n // 40),
+        hot_securities=max(3, n // 200), n_holdings=n, seed=170,
+    )
+    holdings = tpce.generate_holdings(config)
+    database = tpce.star_database(holdings, 3)
+    fleet = [
+        ("star3", tpce.star_query(3), 170),
+        ("star2", tpce.star_query(2), 170),
+        ("star3-dup", tpce.star_query(3), 170),
+    ]
+    return database, fleet
+
+
+def ldbc_case(n: int):
+    """LDBC-SNB knows line (τ=11): 3-chain primary + 2-chain sub."""
+    config = ldbc.LDBCConfig(n_persons=max(40, n // 5), n_knows=n // 2, seed=11)
+    rel = ldbc.knows_relation(config)
+    line3 = JoinQuery.line(3)
+    database = self_join_database(line3, rel)
+    line2 = JoinQuery({"R1": ("x1", "x2"), "R2": ("x2", "x3")})
+    fleet = [
+        ("line3", line3, 11),
+        ("line2", line2, 11),
+        ("line3-dup", line3, 11),
+    ]
+    return database, fleet
+
+
+CASES = {
+    "tpce_star_tau170": tpce_case,
+    "ldbc_line_tau11": ldbc_case,
+}
+
+
+def _sub_database(query: JoinQuery, database: dict) -> dict:
+    return {name: database[name] for name in query.edge_names}
+
+
+def run_cell(case: str, size: str, repeat: int = 3) -> dict:
+    """Measure one (case, size) cell: offline fleet vs one served pass."""
+    database, fleet = CASES[case](SIZES[size][case])
+    n = sum(len(rel) for rel in database.values())
+
+    offline_results = None
+    offline_s = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        offline_results = [
+            temporal_join(query, _sub_database(query, database), tau=tau)
+            for _, query, tau in fleet
+        ]
+        offline_s = min(offline_s, time.perf_counter() - start)
+
+    handles = None
+    service = None
+    serve_s = float("inf")
+    pushed = [0] * len(fleet)
+    for _ in range(max(1, repeat)):
+        service = TemporalJoinService()
+        handles = [
+            service.register(query, tau=tau, name=name)
+            for name, query, tau in fleet
+        ]
+        # Push-mode subscribers (the serving deployment shape): emissions
+        # go straight to the callback, so ingest is never back-pressured
+        # by an absent consumer; the retained rows still feed snapshots.
+        pushed = [0] * len(fleet)
+
+        def make_counter(slot: int):
+            def on_emission(_emission) -> None:
+                pushed[slot] += 1
+            return on_emission
+
+        for slot, handle in enumerate(handles):
+            handle.subscribe(make_counter(slot))
+        start = time.perf_counter()
+        service.ingest_database(database, workers=1)
+        serve_s = min(serve_s, time.perf_counter() - start)
+
+    snapshots = [handle.snapshot() for handle in handles]
+    ok = all(
+        snapshot.results.normalized() == offline.normalized()
+        for snapshot, offline in zip(snapshots, offline_results)
+    )
+    telemetry: ExecutionStats = service.telemetry()
+    appends = telemetry.get("serve.appends")
+
+    return {
+        "case": case,
+        "size": size,
+        "input_tuples": n,
+        "fleet": [
+            {"name": name, "tau": tau, "relations": sorted(query.edge_names)}
+            for name, query, tau in fleet
+        ],
+        "results_per_query": [len(s) for s in snapshots],
+        "pushed_per_query": pushed,
+        "offline_seconds": offline_s,
+        "serve_seconds": serve_s,
+        "serve_over_offline": serve_s / offline_s if offline_s > 0 else None,
+        "ingest_tuples_per_s": appends / serve_s if serve_s > 0 else None,
+        "ok": ok,
+        "serve": {
+            "ingest_passes": telemetry.get("serve.ingest_passes"),
+            "appends": appends,
+            "fanout_inserts": telemetry.get("serve.fanout_inserts"),
+            "results_emitted": telemetry.get("serve.results_emitted"),
+            "results_delivered": telemetry.get("serve.results_delivered"),
+            "emit_lag_max": telemetry.get("serve.emit_lag.max"),
+            "active_peak": telemetry.get("serve.active_peak"),
+            "buffer_depth_peak": telemetry.get("serve.buffer_depth_peak"),
+            "template_dedup": telemetry.get("serve.template_dedup"),
+            "plan_cache_hits": telemetry.get("serve.plan_cache_hits"),
+            "shrink_dropped": telemetry.get("serve.shrink_dropped"),
+        },
+        "slo_report": service.slo_report(),
+    }
+
+
+def run_bench(sizes: Sequence[str] = ("smoke", "load"), repeat: int = 3) -> dict:
+    """Measure every (case, size) cell and return the JSON document."""
+    cells = [
+        run_cell(case, size, repeat=repeat)
+        for size in sizes
+        for case in CASES
+    ]
+    return {
+        "benchmark": "service",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "cases": {
+                "tpce_star_tau170": "Q_tpce star self-join, tau=170 "
+                                    "(Figure 9 left)",
+                "ldbc_line_tau11": "LDBC-SNB knows 3-chain, tau=11 "
+                                   "(Figure 9 right)",
+            },
+            "fleet": "3 standing queries / 2 distinct templates per case "
+                     "(primary, sub-template, duplicate primary)",
+            "repeat": repeat,
+            "sizes": {s: SIZES[s] for s in sizes},
+        },
+        "cells": cells,
+        "rendered": render_cells(cells),
+    }
+
+
+def render_cells(cells: Sequence[dict]) -> str:
+    """Compact ASCII table of the cell list."""
+    header = (
+        f"{'case':>18} {'size':>6} {'tuples':>7} {'offline':>9} "
+        f"{'served':>9} {'tup/s':>9} {'lag.max':>7} {'passes':>6} {'ok':>3}"
+    )
+    lines = [
+        "Standing-query service: one shared ingest pass vs offline fleet",
+        header,
+        "-" * len(header),
+    ]
+    for c in cells:
+        rate = c["ingest_tuples_per_s"]
+        lines.append(
+            f"{c['case']:>18} {c['size']:>6} {c['input_tuples']:>7} "
+            f"{format_seconds(c['offline_seconds']):>9} "
+            f"{format_seconds(c['serve_seconds']):>9} "
+            f"{rate:>9,.0f} "
+            f"{c['serve']['emit_lag_max']:>7g} "
+            f"{c['serve']['ingest_passes']:>6} "
+            f"{'ok' if c['ok'] else 'BAD':>3}"
+        )
+    return "\n".join(lines)
+
+
+def check_cells(doc: dict) -> List[str]:
+    """Gate: semantic invariants only (timings are machine noise).
+
+    A cell fails when any handle's snapshot differed from the offline
+    join, when the fleet consumed more than one ingest pass, or when the
+    duplicate template failed to dedup into a shared evaluation.
+    """
+    failures: List[str] = []
+    for cell in doc["cells"]:
+        label = f"{cell['case']}/{cell['size']}"
+        if not cell["ok"]:
+            failures.append(f"{label}: served snapshots differ from offline "
+                            "temporal_join")
+        if cell["serve"]["ingest_passes"] != 1:
+            failures.append(
+                f"{label}: {cell['serve']['ingest_passes']} ingest passes "
+                "(the fleet must share exactly 1)"
+            )
+        if not cell["serve"]["template_dedup"]:
+            failures.append(
+                f"{label}: duplicate template was not deduplicated into a "
+                "shared evaluation"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.service",
+        description="Standing-query service benchmark (JSON + gate)",
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the measured JSON document here")
+    parser.add_argument("--check", action="store_true",
+                        help="smoke-gate mode: semantic invariants must hold")
+    parser.add_argument("--baseline", default="BENCH_service.json",
+                        help="committed baseline JSON (check mode; read to "
+                             "confirm the document exists and parses)")
+    parser.add_argument("--sizes", nargs="+", default=None,
+                        choices=sorted(SIZES),
+                        help="sizes to measure (default: all; "
+                             f"check mode: {' '.join(CHECK_SIZES)})")
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or (list(CHECK_SIZES) if args.check else ["smoke", "load"])
+
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    doc = run_bench(sizes=sizes, repeat=args.repeat)
+    print(doc["rendered"])
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    failures = check_cells(doc)
+    if args.check:
+        if failures:
+            print("\nservice benchmark gate FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nservice benchmark gate passed (snapshots equal offline "
+              "joins; one shared ingest pass)")
+        return 0
+
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,410 @@
+"""`TemporalJoinService` — the long-running serving façade.
+
+ROADMAP's serving story made concrete: *one ingest path, N standing
+queries*. The service wraps a :class:`~repro.serve.broker.StreamBroker`
+with
+
+* **runtime registration** — :meth:`register` / :meth:`deregister` add
+  and remove standing queries while the stream runs. Identical query
+  templates are deduplicated through the same shape keys the
+  prepared-columns engine uses (:func:`~repro.core.planner.plan_signature`
+  / :func:`~repro.core.planner.hypergraph_signature`): handles whose
+  queries share a hypergraph and τ share one live operator, and
+  attribute-order variants receive projections of its rows — the
+  streaming analogue of :func:`repro.kernels.prepared.run_batch`'s sweep
+  sharing. Figure-7 plans are cached per ``plan_signature`` so a
+  template fleet pays the planner once per shape
+  (``serve.plan_cache_hits`` / ``serve.plan_cache_misses``).
+* **bulk ingest** — :meth:`ingest_database` streams a stored database
+  through the broker in one endpoint-ordered pass
+  (``serve.ingest_passes``). With ``workers >= 2`` the pass is sharded
+  by the parallel executor's endpoint-balanced cuts and *right-endpoint
+  ownership* rule (PR 2): every tuple is replicated to the shards its
+  interval overlaps, each shard runs fresh per-template operators over
+  its sub-stream, and a shard delivers exactly the results whose
+  intersection right endpoint it owns — the global delivery is plain
+  concatenation in shard order, no dedup.
+* **SLO telemetry** — ``serve.*`` counters through the existing
+  :mod:`repro.obs` layer: ingest volume and rate, emission event-time
+  lag (finalizable point to delivery), active-set size, buffer depths,
+  drops and clamps. :meth:`telemetry` folds the per-query stats into
+  one report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..algorithms.online import OnlineTemporalJoin, arrivals_from_database
+from ..core.errors import QueryError
+from ..core.interval import Interval, IntervalLike, Number
+from ..core.planner import Plan, hypergraph_signature, plan, plan_signature
+from ..core.query import JoinQuery
+from ..core.relation import TemporalRelation
+from ..obs import ExecutionStats
+from .broker import StreamBroker
+from .query import Backpressure, Emission, StandingQuery
+
+Values = Tuple[object, ...]
+Database = Mapping[str, TemporalRelation]
+
+INGEST_MODES = ("inline", "thread")
+
+
+def _join_shard(
+    shard: int,
+    templates: List[Tuple[JoinQuery, Number]],
+    sub_stream: List[Tuple[str, Values, Interval]],
+    partition,
+) -> List[List[Emission]]:
+    """Join one shard's sub-stream for every ``(query, τ/2)`` template.
+
+    Module-level (not a closure) so the payload stays spawn-safe: the
+    thread-pool path doesn't pickle, but a future process-pool mode
+    would, and the analyzer's spawn-safety gate holds either way.
+
+    Returns, per template, the emissions whose expanded right endpoint
+    this shard owns — the PR-2 ownership rule that makes concatenation
+    across shards exactly-once.
+    """
+    out: List[List[Emission]] = []
+    for query, half in templates:
+        op = OnlineTemporalJoin(query, strict=True)
+        relations = frozenset(query.edge_names)
+        for relation, values, iv in sub_stream:
+            if relation not in relations:
+                continue
+            run_iv = iv if not half else iv.shrink(half)
+            if run_iv is None:
+                continue
+            op.insert(relation, values, run_iv)
+        op.finish()
+        owned: List[Emission] = []
+        for values, iv in op.results():
+            out_iv = iv.expand(half) if half else iv
+            if partition.owner(out_iv.hi) != shard:
+                continue
+            # Finalized at its expanded right endpoint; minimal latency
+            # by construction of the one-pass operator.
+            owned.append(Emission(values, out_iv, out_iv.hi))
+        out.append(owned)
+    return out
+
+
+class TemporalJoinService:
+    """Standing-query streaming service over one shared temporal ingest path.
+
+    Parameters
+    ----------
+    strict:
+        Ordering contract for the ingest path (see
+        :class:`~repro.serve.broker.StreamBroker`).
+    stats:
+        Optional service-wide :class:`ExecutionStats`; a fresh one is
+        created when omitted and exposed as :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        strict: bool = True,
+        stats: Optional[ExecutionStats] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else ExecutionStats()
+        self.broker = StreamBroker(strict=strict, stats=self.stats)
+        self._handles: Dict[str, Tuple[Tuple, StandingQuery]] = {}
+        self._plans: Dict[Tuple, Plan] = {}
+        self._names = itertools.count(1)
+        self._ingest_started = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalJoinService(queries={len(self._handles)}, "
+            f"watermark={self.broker.watermark!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query: JoinQuery,
+        tau: Number = 0,
+        name: Optional[str] = None,
+        policy: str = Backpressure.BLOCK,
+        buffer_size: int = 1024,
+        block_timeout: Optional[Number] = 30.0,
+        retain_results: bool = True,
+    ) -> StandingQuery:
+        """Register a standing query; returns its consumer handle.
+
+        May be called at any time, including mid-stream — a template
+        registered after ingest began sees only arrivals from the
+        current watermark on. Identical templates (same hypergraph, same
+        τ) share one live operator; the handle still gets its own
+        buffer, policy, and telemetry.
+        """
+        from ..algorithms.registry import _check_tau
+
+        _check_tau(tau)
+        if name is None:
+            name = f"q{next(self._names)}"
+        if name in self._handles:
+            raise QueryError(f"standing query name {name!r} is already registered")
+        sig = plan_signature(query)
+        if sig in self._plans:
+            self.stats.incr("serve.plan_cache_hits")
+        else:
+            self.stats.incr("serve.plan_cache_misses")
+            self._plans[sig] = plan(query)
+        handle = StandingQuery(
+            name,
+            query,
+            tau,
+            policy=policy,
+            buffer_size=buffer_size,
+            block_timeout=block_timeout,
+            retain_results=retain_results,
+        )
+        key = (hypergraph_signature(query), tau)
+        created = self.broker.attach(key, query, tau, handle)
+        self._handles[name] = (key, handle)
+        self.stats.incr("serve.registered")
+        if not created:
+            self.stats.incr("serve.template_dedup")
+        self.stats.peak("serve.queries_peak", len(self._handles))
+        return handle
+
+    def deregister(self, handle_or_name) -> None:
+        """Remove a standing query; its template's operator dies with the
+        last handle attached to it."""
+        name = (
+            handle_or_name.name
+            if isinstance(handle_or_name, StandingQuery)
+            else handle_or_name
+        )
+        entry = self._handles.pop(name, None)
+        if entry is None:
+            raise QueryError(f"standing query {name!r} is not registered")
+        key, handle = entry
+        self.broker.detach(key, handle)
+        handle._close()
+        self.stats.incr("serve.deregistered")
+
+    def plan_for(self, handle_or_name) -> Plan:
+        """The cached Figure-7 plan of a registered query's template."""
+        name = (
+            handle_or_name.name
+            if isinstance(handle_or_name, StandingQuery)
+            else handle_or_name
+        )
+        entry = self._handles.get(name)
+        if entry is None:
+            raise QueryError(f"standing query {name!r} is not registered")
+        return self._plans[plan_signature(entry[1].query)]
+
+    @property
+    def queries(self) -> List[StandingQuery]:
+        return [handle for _, handle in self._handles.values()]
+
+    @property
+    def watermark(self) -> Optional[Number]:
+        return self.broker.watermark
+
+    # ------------------------------------------------------------------
+    # Streaming ingest (delegates to the broker)
+    # ------------------------------------------------------------------
+    def append(self, relation: str, values: Values, interval: IntervalLike) -> int:
+        """Ingest one tuple now; returns the emissions it finalized."""
+        self._ingest_started = True
+        with self.stats.timer("phase.serve.ingest"):
+            return self.broker.append(relation, values, interval)
+
+    def advance_to(self, watermark: Number) -> int:
+        """Advance every standing query's expiry to ``watermark``."""
+        with self.stats.timer("phase.serve.ingest"):
+            return self.broker.advance_to(watermark)
+
+    def finish(self) -> int:
+        """Flush all standing queries and close the ingest path."""
+        with self.stats.timer("phase.serve.ingest"):
+            return self.broker.finish()
+
+    # ------------------------------------------------------------------
+    # Bulk ingest: one pass, optionally sharded across workers
+    # ------------------------------------------------------------------
+    def ingest_database(
+        self,
+        database: Database,
+        workers: int = 1,
+        mode: str = "thread",
+        finish: bool = True,
+    ) -> int:
+        """Stream a stored database through the service in one pass.
+
+        ``workers=1`` replays the endpoint-ordered arrival stream through
+        the live broker (the stream may be left open with
+        ``finish=False``). ``workers >= 2`` is the batch load path: the
+        timeline is cut into endpoint-balanced windows, every window's
+        sub-stream is joined by fresh per-template operators (``mode=
+        "thread"`` runs them on a thread pool, ``"inline"`` sequentially)
+        and each shard delivers exactly the results whose right endpoint
+        it owns; it always finishes the stream, because the sharded
+        operators — not the broker's live ones — absorbed the data.
+
+        Returns the number of emissions delivered. Counts one
+        ``serve.ingest_passes`` regardless of ``workers`` — the whole
+        point is that N standing queries share a single pass.
+        """
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers!r}")
+        if mode not in INGEST_MODES:
+            raise QueryError(
+                f"unknown ingest mode {mode!r}; expected one of {INGEST_MODES}"
+            )
+        if self.broker.closed:
+            raise QueryError("ingest_database after finish() on the service")
+        self.stats.incr("serve.ingest_passes")
+        started = time.perf_counter()
+        if workers == 1:
+            delivered = 0
+            for relation, values, interval in arrivals_from_database(database):
+                delivered += self.append(relation, values, interval)
+            if finish:
+                delivered += self.finish()
+        else:
+            if self._ingest_started:
+                raise QueryError(
+                    "sharded ingest (workers >= 2) requires a fresh stream; "
+                    "tuples were already appended to this service"
+                )
+            self._ingest_started = True
+            with self.stats.timer("phase.serve.ingest"):
+                delivered = self._ingest_sharded(database, workers, mode)
+        self.stats.add_time("phase.serve.pass", time.perf_counter() - started)
+        return delivered
+
+    def _ingest_sharded(self, database: Database, workers: int, mode: str) -> int:
+        """One ingest pass sharded by right-endpoint ownership (PR-2 rule).
+
+        Tuple assignment replicates each arrival to every shard whose
+        window its interval overlaps; a result — finalized at the right
+        endpoint of its intersection interval — is delivered by the
+        unique shard owning that instant, so concatenating shard
+        deliveries in shard order is exactly-once by construction.
+        """
+        from ..parallel.partition import partition_timeline
+
+        partition = partition_timeline(database, workers)
+        shards = partition.n_shards
+        arrivals = arrivals_from_database(database)
+        evaluations = self.broker.evaluations
+        sub_streams: List[List[Tuple[str, Values, Interval]]] = [
+            [] for _ in range(shards)
+        ]
+        for item in arrivals:
+            first, last = partition.shard_range(item[2])
+            for shard in range(first, last + 1):
+                sub_streams[shard].append(item)
+        replicated = sum(len(s) for s in sub_streams) - len(arrivals)
+        self.stats.incr("serve.shards", shards)
+        self.stats.incr("serve.shard_workers", min(workers, shards))
+        self.stats.incr("serve.replicated", replicated)
+
+        templates = [(e.query, e.half) for e in evaluations]
+        if mode == "thread" and shards > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=min(workers, shards)) as pool:
+                futures = [
+                    pool.submit(
+                        _join_shard, shard, templates,
+                        sub_streams[shard], partition,
+                    )
+                    for shard in range(shards)
+                ]
+                per_shard = [future.result() for future in futures]
+        else:
+            per_shard = [
+                _join_shard(shard, templates, sub_streams[shard], partition)
+                for shard in range(shards)
+            ]
+
+        # Deliver in shard order from the calling thread: deterministic,
+        # and buffer backpressure applies on delivery exactly as in the
+        # streaming path.
+        delivered = 0
+        for shard_out in per_shard:
+            for evaluation, emissions in zip(evaluations, shard_out):
+                for handle in evaluation.handles:
+                    projection = evaluation.projection(handle.query)
+                    if projection is None:
+                        handle._deliver(emissions, None)
+                    else:
+                        handle._deliver(
+                            [
+                                Emission(
+                                    tuple(e.values[p] for p in projection),
+                                    e.interval,
+                                    e.at,
+                                )
+                                for e in emissions
+                            ],
+                            None,
+                        )
+                    delivered += len(emissions)
+                self.stats.incr("serve.results_emitted", len(emissions))
+        # The sharded operators absorbed the stream; the live broker never
+        # saw it, so the only consistent continuation is closure.
+        self.broker.finish()
+        return delivered
+
+    def ingest_stream(
+        self,
+        arrivals: Iterable[Tuple[str, Values, IntervalLike]],
+        finish: bool = False,
+    ) -> int:
+        """Append a pre-ordered arrival stream through the live broker."""
+        delivered = 0
+        for relation, values, interval in arrivals:
+            delivered += self.append(relation, values, interval)
+        if finish:
+            delivered += self.finish()
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def telemetry(self) -> ExecutionStats:
+        """Service stats with every standing query's stats folded in."""
+        merged = ExecutionStats()
+        merged.merge(self.stats)
+        for handle in self.queries:
+            merged.merge(handle.stats)
+        return merged
+
+    def slo_report(self) -> str:
+        """Human-readable per-query SLO summary (counts, lag, depth)."""
+        lines = [
+            f"{'query':<12} {'template':<22} {'tau':>5} {'delivered':>9} "
+            f"{'lag.max':>7} {'depth.peak':>10} {'dropped':>7}"
+        ]
+        for handle in sorted(self.queries, key=lambda h: h.name):
+            stats = handle.stats
+            template = ",".join(sorted(handle.query.edge_names))
+            lines.append(
+                f"{handle.name:<12} {template:<22} {handle.tau:>5g} "
+                f"{handle.delivered:>9} "
+                f"{stats.get('serve.emit_lag.max'):>7} "
+                f"{stats.get('serve.buffer_depth_peak'):>10} "
+                f"{stats.get('serve.dropped'):>7}"
+            )
+        ingest = self.stats.timers.get("phase.serve.ingest", 0.0)
+        appends = self.stats.get("serve.appends")
+        if ingest > 0 and appends:
+            lines.append(
+                f"ingest: {appends} tuples in {ingest * 1e3:.1f} ms "
+                f"({appends / ingest:,.0f} tuples/s)"
+            )
+        return "\n".join(lines)

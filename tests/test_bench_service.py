@@ -1,0 +1,89 @@
+"""Tests for the standing-query service benchmark (bench.service)."""
+
+import json
+
+import pytest
+
+from repro.bench import service as bench_service
+from repro.bench.service import check_cells, main, run_bench, run_cell
+
+
+@pytest.fixture(autouse=True)
+def tiny_sizes(monkeypatch):
+    """Shrink the committed workload knobs so tests stay fast."""
+    monkeypatch.setitem(
+        bench_service.SIZES, "smoke",
+        {"tpce_star_tau170": 150, "ldbc_line_tau11": 120},
+    )
+
+
+class TestRunCell:
+    @pytest.mark.parametrize("case", sorted(bench_service.CASES))
+    def test_cell_is_correct_and_shares_one_pass(self, case):
+        cell = run_cell(case, "smoke", repeat=1)
+        assert cell["ok"], f"{case}: served snapshots diverged from offline"
+        assert cell["serve"]["ingest_passes"] == 1
+        assert cell["serve"]["template_dedup"] == 1
+        assert cell["serve"]["plan_cache_hits"] >= 1
+        # the duplicate template returns exactly the primary's rows
+        assert cell["results_per_query"][0] == cell["results_per_query"][2]
+        # push subscribers saw every delivery
+        assert cell["pushed_per_query"] == cell["results_per_query"]
+        assert cell["ingest_tuples_per_s"] > 0
+
+
+class TestCheckCells:
+    def _cell(self, **overrides):
+        cell = {
+            "case": "tpce_star_tau170", "size": "smoke", "ok": True,
+            "serve": {"ingest_passes": 1, "template_dedup": 1},
+        }
+        cell.update({k: v for k, v in overrides.items() if k != "serve"})
+        cell["serve"].update(overrides.get("serve", {}))
+        return cell
+
+    def test_passes_on_clean_cells(self):
+        assert check_cells({"cells": [self._cell()]}) == []
+
+    def test_flags_result_mismatch(self):
+        failures = check_cells({"cells": [self._cell(ok=False)]})
+        assert any("differ from offline" in f for f in failures)
+
+    def test_flags_extra_ingest_passes(self):
+        failures = check_cells(
+            {"cells": [self._cell(serve={"ingest_passes": 2})]}
+        )
+        assert any("ingest passes" in f for f in failures)
+
+    def test_flags_dead_dedup(self):
+        failures = check_cells(
+            {"cells": [self._cell(serve={"template_dedup": 0})]}
+        )
+        assert any("dedup" in f for f in failures)
+
+
+class TestMain:
+    def test_writes_json_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        rc = main(["--out", str(out), "--sizes", "smoke", "--repeat", "1"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "service"
+        assert all(c["ok"] for c in doc["cells"])
+        assert check_cells(doc) == []
+        captured = capsys.readouterr()
+        assert "one shared ingest pass" in captured.out
+        assert str(out) in captured.out
+
+    def test_check_mode_passes_against_fresh_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_service.json"
+        doc = run_bench(sizes=["smoke"], repeat=1)
+        baseline.write_text(json.dumps(doc))
+        rc = main(["--check", "--baseline", str(baseline), "--repeat", "1"])
+        assert rc == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_check_mode_requires_readable_baseline(self, tmp_path, capsys):
+        rc = main(["--check", "--baseline", str(tmp_path / "missing.json")])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().out

@@ -132,3 +132,34 @@ class TestCLIParallel:
         assert "Parallel: 2 time shards" in out
         assert "parallel.shards" in out
         assert "RESULT MISMATCH" not in out
+
+
+class TestServeSubcommand:
+    """``python -m repro serve`` dispatches to the serving-layer CLI."""
+
+    def test_synthetic_run_with_verify_and_stats(self, capsys):
+        rc = main(["serve", "synthetic", "--n", "80", "--verify", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "one shared ingest pass" in out
+        assert "Per-query SLO report" in out
+        assert "MISMATCH" not in out
+        assert "serve.ingest_passes" in out
+        assert "serve.template_dedup" in out
+
+    def test_sharded_ingest_run(self, capsys):
+        rc = main(["serve", "synthetic", "--n", "60", "--workers", "3",
+                   "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+
+    def test_workload_tau_defaults_to_paper_value(self, capsys):
+        rc = main(["serve", "ldbc", "--n", "60"])
+        assert rc == 0
+        assert "tau=11" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "enron"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -15,6 +15,7 @@ from repro.core.interval import Interval
 from repro.core.query import JoinQuery
 from repro.core.relation import TemporalRelation
 from repro.core.result import JoinResultSet
+from repro.obs import ExecutionStats
 
 from conftest import random_database
 
@@ -178,3 +179,181 @@ class TestBoundaryExpiry:
         op.insert("R2", (2, "h"), (3, 3))
         assert op.advance_to(3) == []  # the instant [3,3] is not yet safe
         assert op.finish() == [((1, "h", 2), Interval(3, 3))]
+
+
+class TestTelemetry:
+    """``stats=`` wiring: the online operator reports the offline sweep's
+    counters (satellite of the serving PR; exactness asserted below)."""
+
+    #: Counters that must match the offline sweep *exactly* after a full
+    #: endpoint-ordered replay. State-level totals (``hier.inserts`` /
+    #: ``hier.deletes``) are order-invariant and included; tie-order
+    #: sensitive internals (e.g. which of two same-endpoint tuples
+    #: enumerates a shared result) are deliberately not.
+    EXACT = (
+        "sweep.events",
+        "sweep.inserts",
+        "sweep.enumerate_calls",
+        "sweep.active_peak",
+        "results",
+        "hier.inserts",
+        "hier.deletes",
+    )
+
+    @pytest.mark.parametrize(
+        "query",
+        [JoinQuery.star(3), JoinQuery.line(3), JoinQuery.hier(), JoinQuery.triangle()],
+    )
+    def test_counters_match_offline_sweep(self, query, rng):
+        from repro.algorithms.timefirst import timefirst_join
+
+        for _ in range(3):
+            db = random_database(query, rng, n=14, domain=3)
+            offline_stats = ExecutionStats()
+            offline = timefirst_join(query, db, stats=offline_stats)
+
+            online_stats = ExecutionStats()
+            op = OnlineTemporalJoin(query, stats=online_stats)
+            for relation, values, interval in arrivals_from_database(db):
+                op.insert(relation, values, interval)
+            op.finish()
+
+            assert op.results().normalized() == offline.normalized()
+            for name in self.EXACT:
+                assert online_stats.get(name) == offline_stats.get(name), name
+
+    def test_no_stats_records_nothing(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 3))
+        op.finish()
+        assert op._stats is None  # the stats=None path stays dark
+
+    def test_stream_facade_forwards_stats(self, rng):
+        q = JoinQuery.star(2)
+        db = random_database(q, rng, n=10, domain=3)
+        stats = ExecutionStats()
+        rows = list(
+            stream_temporal_join(q, arrivals_from_database(db), stats=stats)
+        )
+        assert stats["sweep.inserts"] == sum(len(r) for r in db.values())
+        assert stats.get("results") == len(rows)
+
+    def test_active_peak_tracks_pending(self):
+        q = JoinQuery.star(2)
+        stats = ExecutionStats()
+        op = OnlineTemporalJoin(q, stats=stats)
+        op.insert("R1", (1, "h"), (0, 10))
+        op.insert("R2", (2, "h"), (1, 9))
+        op.insert("R1", (3, "h"), (2, 8))
+        assert stats["sweep.active_peak"] == 3
+        op.finish()
+        assert stats["sweep.active_peak"] == 3
+        assert stats["sweep.events"] == 6
+
+
+class TestClampTelemetry:
+    """Non-strict clamps must never be silent (satellite 2)."""
+
+    def test_clamp_records_counter_and_note(self):
+        q = JoinQuery.star(2)
+        stats = ExecutionStats()
+        op = OnlineTemporalJoin(q, strict=False, stats=stats)
+        op.insert("R1", (1, "h"), (0, 2))
+        op.insert("R1", (2, "h"), (10, 12))  # drains [0,2] -> watermark 2
+        op.insert("R2", (3, "h"), (1, 20))  # clamped to [2, 20]
+        assert stats["online.clamped"] == 1
+        assert "online.clamp_reason" in stats.notes
+        reason = stats.notes["online.clamp_reason"]
+        assert "clamped" in reason and "watermark 2" in reason
+
+    def test_clamp_at_equal_watermark_is_not_a_clamp(self):
+        q = JoinQuery.star(2)
+        stats = ExecutionStats()
+        op = OnlineTemporalJoin(q, strict=False, stats=stats)
+        op.insert("R1", (1, "h"), (0, 2))
+        op.advance_to(5)
+        # Start exactly at the watermark: legal, no clamp, no note.
+        out = op.insert("R2", (2, "h"), (5, 6))
+        assert out == []
+        assert stats.get("online.clamped") == 0
+        assert "online.clamp_reason" not in stats.notes
+        # Strict mode accepts it too.
+        op2 = OnlineTemporalJoin(q, strict=True)
+        op2.insert("R1", (1, "h"), (0, 2))
+        op2.advance_to(5)
+        op2.insert("R2", (2, "h"), (5, 6))  # must not raise
+
+    def test_clamp_of_zero_length_interval(self):
+        q = JoinQuery.star(2)
+        stats = ExecutionStats()
+        op = OnlineTemporalJoin(q, strict=False, stats=stats)
+        op.insert("R1", (1, "h"), (0, 10))
+        op.advance_to(5)
+        # An instant tuple entirely in the past collapses to [w, w] and
+        # can still join tuples alive at the watermark.
+        out = op.insert("R2", (2, "h"), (3, 3))
+        assert out == []
+        assert stats["online.clamped"] == 1
+        assert "[5, 5]" in stats.notes["online.clamp_reason"]
+        final = op.finish()
+        assert ((1, "h", 2), Interval(5, 5)) in final
+
+    def test_strict_mode_rejects_instead_of_clamping(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q, strict=True)
+        op.insert("R1", (1, "h"), (0, 10))
+        op.advance_to(5)
+        with pytest.raises(QueryError):
+            op.insert("R2", (2, "h"), (3, 3))
+
+
+class TestWatermarkContract:
+    """advance_to monotonicity and finish() idempotency (satellite 3)."""
+
+    def test_advance_to_declares_watermark(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        assert op.watermark is None
+        op.advance_to(7)
+        assert op.watermark == 7
+        with pytest.raises(QueryError):
+            op.insert("R1", (1, "h"), (3, 9))  # violates the declaration
+
+    def test_non_monotone_watermark_is_a_noop(self):
+        q = JoinQuery.star(2)
+        stats = ExecutionStats()
+        op = OnlineTemporalJoin(q, stats=stats)
+        op.insert("R1", (1, "h"), (0, 4))
+        op.insert("R2", (2, "h"), (1, 4))
+        op.advance_to(10)
+        assert op.watermark == 10
+        out = op.advance_to(3)  # regression: no-op, nothing re-emitted
+        assert out == []
+        assert op.watermark == 10
+        assert stats["online.watermark_regressions"] == 1
+        # An equal watermark is idempotent, not a regression.
+        assert op.advance_to(10) == []
+        assert stats["online.watermark_regressions"] == 1
+
+    def test_results_not_duplicated_after_regression(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 4))
+        op.insert("R2", (2, "h"), (1, 4))
+        first = op.advance_to(10)
+        assert len(first) == 1
+        assert op.advance_to(2) == []
+        assert op.finish() == []
+        assert len(op.results()) == 1
+
+    def test_finish_is_idempotent(self):
+        q = JoinQuery.star(2)
+        op = OnlineTemporalJoin(q)
+        op.insert("R1", (1, "h"), (0, 5))
+        op.insert("R2", (2, "h"), (2, 5))
+        first = op.finish()
+        assert first == [((1, "h", 2), Interval(2, 5))]
+        assert op.finish() == []  # second call: empty, no re-emission
+        assert op.finish() == []
+        assert len(op.results()) == 1
