@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check examples figures clean
+.PHONY: install test lint analyze analyze-fast bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -21,10 +21,21 @@ lint:
 		exit 1; \
 	fi
 
-# Domain lint + static analysis (repro-lint). Writes the JSON report CI
-# uploads as an artifact; exits non-zero on any non-baselined finding.
+# Domain lint + static analysis (repro-lint): node rules plus the flow/
+# interprocedural set. Incremental via .repro-lint-cache/ — a warm run
+# over an unchanged tree re-parses 0 files. No artifact is written into
+# the source tree; CI generates the SARIF report explicitly.
 analyze:
-	PYTHONPATH=src python -m repro.analysis src --format=json --out repro-lint-report.json
+	PYTHONPATH=src python -m repro.analysis src
+
+# Warm developer loop: refuses a cold cache so it never silently pays
+# the full-parse cost ('make analyze' first seeds the cache).
+analyze-fast:
+	@test -f .repro-lint-cache/files.json || { \
+		echo "analyze-fast: cold cache — run 'make analyze' once first" >&2; \
+		exit 1; \
+	}
+	PYTHONPATH=src python -m repro.analysis src
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -11,6 +11,13 @@ Two halves:
   endpoints, no mutable defaults. Run it as ``python -m repro.analysis``;
   CI gates on it (``make analyze``).
 
+* **flow-aware analysis** (:mod:`cfg` + :mod:`dataflow` + :mod:`project`
+  + :mod:`flow_rules`): an intraprocedural CFG/dataflow framework and a
+  whole-project model feeding four interprocedural rules — the
+  machine-checked counter glossary, spawn payload module-levelness,
+  ownership-before-concat, and stats threading. Per-file summaries are
+  cached under ``.repro-lint-cache/`` so warm runs re-parse nothing.
+
 * **static plan verification** (:mod:`plans`): structural validation of
   :class:`~repro.nontemporal.ghd.GHD`,
   :class:`~repro.core.classification.AttributeTree` and
@@ -24,17 +31,21 @@ grandfathered in the committed JSON baseline
 (:data:`~repro.analysis.engine.DEFAULT_BASELINE_NAME`).
 """
 
+from .cache import AnalysisCache
 from .engine import (
     Baseline,
     BaselineEntry,
     DEFAULT_BASELINE_NAME,
     Finding,
     LintReport,
+    ProjectRule,
     Rule,
     SourceFile,
+    lint_project,
     lint_source,
     run_lint,
 )
+from .flow_rules import flow_rules
 from .plans import (
     PlanVerificationError,
     check_attribute_tree,
@@ -44,24 +55,29 @@ from .plans import (
     verify_ghd,
     verify_plan,
 )
-from .report import render_json, render_text
+from .report import render_json, render_sarif, render_text
 from .rules import default_rules
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "BaselineEntry",
     "DEFAULT_BASELINE_NAME",
     "Finding",
     "LintReport",
     "PlanVerificationError",
+    "ProjectRule",
     "Rule",
     "SourceFile",
     "check_attribute_tree",
     "check_ghd",
     "check_plan",
     "default_rules",
+    "flow_rules",
+    "lint_project",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "verify_attribute_tree",

@@ -7,6 +7,12 @@ The baseline defaults to ``.repro-lint-baseline.json`` in the current
 directory when present (the committed repo baseline); ``--no-baseline``
 ignores it, ``--write-baseline`` regenerates it from the current
 findings (grandfathering everything — edit the justifications!).
+
+Incremental analysis is on by default: per-file results live under
+``.repro-lint-cache/`` keyed by content hash, so a warm run over an
+unchanged tree re-parses nothing (``--no-cache`` forces a full pass).
+Reports go to stdout, or to ``--output FILE`` (any relative path is the
+working directory — nothing is ever written into the source tree).
 """
 
 from __future__ import annotations
@@ -16,13 +22,20 @@ import os
 import sys
 from typing import List, Optional
 
+from .cache import AnalysisCache, DEFAULT_CACHE_DIR
 from .engine import (
     Baseline,
     DEFAULT_BASELINE_NAME,
     run_lint,
 )
-from .report import render_json, render_text
+from .flow_rules import flow_rules
+from .report import render_json, render_sarif, render_text
 from .rules import default_rules
+
+
+def all_rules():
+    """Node rules plus project-level flow rules, in reporting order."""
+    return list(default_rules()) + list(flow_rules())
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,7 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -59,8 +72,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
     parser.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="also write the report to FILE (the CI artifact)",
+        "--output", "--out", dest="output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout (the CI artifact; "
+        "relative paths resolve against the working directory)",
+    )
+    parser.add_argument(
+        "--design", default="DESIGN.md", metavar="PATH",
+        help="design document for the counter-glossary cross-check "
+        "(default: DESIGN.md; skipped when missing)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental analysis cache (full re-parse)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"incremental cache location (default: {DEFAULT_CACHE_DIR})",
     )
     return parser
 
@@ -69,10 +96,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
-    rules = default_rules()
+    rules = all_rules()
     if args.list_rules:
         for rule in rules:
-            print(f"{rule.id:>24} [{rule.severity}] {rule.description}")
+            print(f"{rule.id:>26} [{rule.severity}] {rule.description}")
         return 0
 
     if args.select:
@@ -101,7 +128,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: no such path(s): {missing}", file=sys.stderr)
         return 2
 
-    report = run_lint(args.paths, rules=rules, baseline=baseline)
+    cache = None if args.no_cache else AnalysisCache(args.cache_dir)
+    report = run_lint(
+        args.paths,
+        rules=rules,
+        baseline=baseline,
+        cache=cache,
+        design_path=args.design,
+    )
 
     if args.write_baseline:
         Baseline.from_findings(report.findings).save(baseline_path)
@@ -111,13 +145,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    rendered = render_json(report) if args.format == "json" else render_text(report)
-    if args.out:
-        with open(args.out, "w") as handle:
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report, rules)
+    else:
+        rendered = render_text(report)
+    if args.output:
+        with open(args.output, "w") as handle:
             handle.write(rendered)
         print(
             f"repro-lint: {len(report.findings)} finding(s) "
-            f"({len(report.baselined)} baselined); report written to {args.out}"
+            f"({len(report.baselined)} baselined); report written to {args.output}"
         )
     else:
         print(rendered, end="" if rendered.endswith("\n") else "\n")

@@ -18,9 +18,12 @@ real tree on disk.
 Suppressions
 ------------
 ``# repro-lint: disable=<rule>[,<rule>...]`` on a line silences those
-rules (or ``all``) for findings *on that physical line*;
-``# repro-lint: disable-file=<rule>[,...]`` anywhere in the file
-silences them for the whole file. Suppressions are meant for findings
+rules (or ``all``) for findings *on that physical line*; when the line
+is the first line of a multi-line statement (or a decorator line of a
+``def``/``class``), the directive covers the statement's whole
+``lineno..end_lineno`` span. ``# repro-lint: disable-file=<rule>[,...]``
+anywhere in the file silences them for the whole file. Suppressions are
+meant for findings
 whose justification reads best next to the code; repo-wide grandfathered
 findings belong in the JSON baseline, which keeps a justification string
 per entry.
@@ -71,6 +74,27 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
         }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "Finding":
+        return Finding(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+            hint=str(data.get("hint", "")),
+        )
+
+
+def suppressed_in(data: Dict[str, object], rule_id: str, line: int) -> bool:
+    """:meth:`SourceFile.is_suppressed` over cached suppression tables."""
+    file_disables = data.get("file", [])
+    if rule_id in file_disables or "all" in file_disables:
+        return True
+    disabled = data.get("lines", {}).get(str(line), ())  # type: ignore[union-attr]
+    return rule_id in disabled or "all" in disabled
 
 
 def normalize_path(path: str) -> str:
@@ -133,12 +157,41 @@ class SourceFile:
                 self._line_disables.setdefault(lineno, set()).update(
                     n.strip() for n in names.split(",") if n.strip()
                 )
+        self._extend_spans()
+
+    def _extend_spans(self) -> None:
+        """Grow first-line/decorator-line directives to statement spans."""
+        if not self._line_disables:
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if end <= node.lineno:
+                continue
+            directive_lines = {node.lineno}
+            for deco in getattr(node, "decorator_list", None) or []:
+                directive_lines.add(deco.lineno)
+            rules: Set[str] = set()
+            for dline in directive_lines:
+                rules |= self._line_disables.get(dline, set())
+            if not rules:
+                continue
+            for line in range(node.lineno, end + 1):
+                self._line_disables.setdefault(line, set()).update(rules)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if rule_id in self._file_disables or "all" in self._file_disables:
             return True
         disabled = self._line_disables.get(line, ())
         return rule_id in disabled or "all" in disabled
+
+    def suppression_data(self) -> Dict[str, object]:
+        """JSON-serializable suppression tables (for the analysis cache)."""
+        return {
+            "file": sorted(self._file_disables),
+            "lines": {str(k): sorted(v) for k, v in self._line_disables.items()},
+        }
 
     # ------------------------------------------------------------------
     def segments(self) -> Tuple[str, ...]:
@@ -182,6 +235,25 @@ class Rule:
         return True
 
     def check(self, sf: SourceFile) -> List[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule over the whole-project model rather than one file.
+
+    Project rules never see an AST directly: they consume the
+    :class:`~repro.analysis.project.ProjectModel` built from per-file
+    summaries, which is what lets the incremental cache replay them on a
+    warm run without re-parsing anything. Their findings carry normal
+    paths/lines, so inline suppressions and the baseline apply the same
+    way as for node rules. ``applies`` is consulted per *finding* path
+    (the model always spans every scanned file).
+    """
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        return []
+
+    def check_project(self, project) -> List[Finding]:
         raise NotImplementedError
 
 
@@ -278,6 +350,8 @@ class LintReport:
     suppressed: int
     stale_baseline: List[BaselineEntry]
     files_scanned: int
+    files_reparsed: int = 0  # cache misses (parsed + analyzed this run)
+    files_cached: int = 0  # cache hits (replayed from .repro-lint-cache/)
 
     @property
     def exit_code(self) -> int:
@@ -286,6 +360,8 @@ class LintReport:
     def to_dict(self) -> Dict[str, object]:
         return {
             "files_scanned": self.files_scanned,
+            "files_reparsed": self.files_reparsed,
+            "files_cached": self.files_cached,
             "findings": [f.to_dict() for f in self.findings],
             "baselined": [f.to_dict() for f in self.baselined],
             "suppressed": self.suppressed,
@@ -350,30 +426,40 @@ def lint_source(
     return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
 
 
-def run_lint(
-    paths: Sequence[str],
-    rules: Sequence[Rule],
-    baseline: Optional[Baseline] = None,
-) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` and fold in the baseline."""
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List["ProjectRule"]]:
+    node_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return node_rules, project_rules
+
+
+def _raw_node_findings(sf: SourceFile, node_rules: Sequence[Rule]) -> List[Finding]:
+    """Per-file node-rule findings *before* suppression (the cached form)."""
+    findings: List[Finding] = []
+    for rule in node_rules:
+        if rule.applies(sf.logical):
+            findings.extend(rule.check(sf))
+    return findings
+
+
+def _apply_suppressions(
+    raw: Iterable[Finding],
+    tables: Dict[str, Dict[str, object]],
+) -> Tuple[List[Finding], int]:
     findings: List[Finding] = []
     suppressed = 0
-    files_scanned = 0
-    for path in paths:
-        for fs_path in _iter_python_files(path):
-            files_scanned += 1
-            try:
-                with open(fs_path, "r") as handle:
-                    source = handle.read()
-                sf = SourceFile(source, logical=fs_path, fs_path=fs_path)
-            except SyntaxError as exc:
-                findings.append(_syntax_error_finding(fs_path, exc))
-                continue
-            file_findings, file_suppressed = _lint_one(sf, rules)
-            findings.extend(file_findings)
-            suppressed += file_suppressed
+    for f in raw:
+        table = tables.get(normalize_path(f.path))
+        if table is not None and suppressed_in(table, f.rule, f.line):
+            suppressed += 1
+        else:
+            findings.append(f)
+    return findings, suppressed
 
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+def _fold_baseline(
+    findings: List[Finding],
+    baseline: Optional[Baseline],
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
     known = baseline.fingerprints() if baseline is not None else set()
     actionable = [f for f in findings if f.fingerprint not in known]
     grandfathered = [f for f in findings if f.fingerprint in known]
@@ -383,10 +469,129 @@ def run_lint(
         if baseline is not None
         else []
     )
+    return actionable, grandfathered, stale
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    baseline: Optional[Baseline] = None,
+    cache=None,
+    design_path: Optional[str] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and fold in the baseline.
+
+    With a :class:`~repro.analysis.cache.AnalysisCache`, unchanged files
+    replay their node findings, summary and suppression tables from the
+    cache instead of being re-parsed; project rules always run, but only
+    over summaries, so a fully-warm run parses nothing. ``design_path``
+    names the design document the glossary rule cross-checks (skipped
+    when missing).
+    """
+    from .cache import rules_salt
+    from .project import FileSummary, ProjectModel, summarize_file
+
+    node_rules, project_rules = _split_rules(rules)
+    salt = rules_salt([r.id for r in node_rules])
+    raw: List[Finding] = []
+    tables: Dict[str, Dict[str, object]] = {}
+    summaries: Dict[str, FileSummary] = {}
+    files_scanned = files_reparsed = files_cached = 0
+
+    for path in paths:
+        for fs_path in _iter_python_files(path):
+            files_scanned += 1
+            logical = normalize_path(fs_path)
+            with open(fs_path, "r") as handle:
+                source = handle.read()
+            digest = cache.digest(source, salt) if cache is not None else None
+            entry = cache.lookup(logical, digest) if cache is not None else None
+            if entry is not None:
+                files_cached += 1
+                raw.extend(Finding.from_dict(d) for d in entry["findings"])
+                summaries[logical] = FileSummary.from_dict(entry["summary"])
+                tables[logical] = entry["suppress"]
+                continue
+            files_reparsed += 1
+            try:
+                sf = SourceFile(source, logical=fs_path, fs_path=fs_path)
+            except SyntaxError as exc:
+                raw.append(_syntax_error_finding(fs_path, exc))
+                continue
+            file_raw = _raw_node_findings(sf, node_rules)
+            summaries[logical] = summarize_file(sf)
+            tables[logical] = sf.suppression_data()
+            raw.extend(file_raw)
+            if cache is not None:
+                cache.store(
+                    logical,
+                    digest,
+                    [f.to_dict() for f in file_raw],
+                    summaries[logical].to_dict(),
+                    tables[logical],
+                )
+
+    if project_rules:
+        design_text = None
+        if design_path is not None and os.path.exists(design_path):
+            with open(design_path, "r") as handle:
+                design_text = handle.read()
+        project = ProjectModel(
+            summaries,
+            design_text=design_text,
+            design_path=normalize_path(design_path or "DESIGN.md"),
+        )
+        for rule in project_rules:
+            raw.extend(rule.check_project(project))
+
+    if cache is not None:
+        cache.save()
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings, suppressed = _apply_suppressions(raw, tables)
+    actionable, grandfathered, stale = _fold_baseline(findings, baseline)
     return LintReport(
         findings=actionable,
         baselined=grandfathered,
         suppressed=suppressed,
         stale_baseline=stale,
         files_scanned=files_scanned,
+        files_reparsed=files_reparsed,
+        files_cached=files_cached,
     )
+
+
+def lint_project(
+    sources: Dict[str, str],
+    rules: Sequence[Rule],
+    design_text: Optional[str] = None,
+    design_path: str = "DESIGN.md",
+) -> List[Finding]:
+    """Lint an in-memory multi-file project (flow-rule test entry point).
+
+    ``sources`` maps logical paths to module source; node and project
+    rules both run, inline suppressions apply, no baseline is involved.
+    """
+    from .project import FileSummary, ProjectModel, summarize_file
+
+    node_rules, project_rules = _split_rules(rules)
+    raw: List[Finding] = []
+    tables: Dict[str, Dict[str, object]] = {}
+    summaries: Dict[str, FileSummary] = {}
+    for logical, source in sorted(sources.items()):
+        try:
+            sf = SourceFile(source, logical)
+        except SyntaxError as exc:
+            raw.append(_syntax_error_finding(logical, exc))
+            continue
+        raw.extend(_raw_node_findings(sf, node_rules))
+        summaries[sf.logical] = summarize_file(sf)
+        tables[sf.logical] = sf.suppression_data()
+    project = ProjectModel(
+        summaries, design_text=design_text, design_path=design_path
+    )
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings, _ = _apply_suppressions(raw, tables)
+    return findings

@@ -1,10 +1,15 @@
-"""Text and JSON reporters for :class:`~repro.analysis.engine.LintReport`."""
+"""Text, JSON and SARIF reporters for :class:`~repro.analysis.engine.LintReport`."""
 
 from __future__ import annotations
 
 import json
+from typing import Optional, Sequence
 
-from .engine import LintReport
+from .engine import LintReport, Rule
+
+#: Published schema for SARIF 2.1.0 — what GitHub code scanning ingests.
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
 
 
 def render_text(report: LintReport) -> str:
@@ -22,7 +27,8 @@ def render_text(report: LintReport) -> str:
     summary = (
         f"repro-lint: {len(report.findings)} finding(s), "
         f"{len(report.baselined)} baselined, {report.suppressed} suppressed, "
-        f"{report.files_scanned} file(s) scanned"
+        f"{report.files_scanned} file(s) scanned "
+        f"({report.files_reparsed} reparsed, {report.files_cached} cached)"
     )
     lines.append(summary)
     return "\n".join(lines)
@@ -31,3 +37,77 @@ def render_text(report: LintReport) -> str:
 def render_json(report: LintReport) -> str:
     """Machine-readable report (the CI artifact format)."""
     return json.dumps(report.to_dict(), indent=2) + "\n"
+
+
+def render_sarif(report: LintReport, rules: Optional[Sequence[Rule]] = None) -> str:
+    """SARIF 2.1.0 document — one run, findings as results.
+
+    Rule metadata comes from ``rules`` when given; rules that produced a
+    finding but are not in the list (e.g. ``syntax-error``) still get a
+    stub descriptor so every result's ``ruleIndex`` resolves.
+    """
+    descriptors = []
+    index = {}
+    for rule in rules or ():
+        if rule.id in index:
+            continue
+        index[rule.id] = len(descriptors)
+        descriptors.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.description or rule.id},
+                "help": {"text": rule.hint or rule.description or rule.id},
+                "defaultConfiguration": {
+                    "level": "error" if rule.severity == "error" else "warning"
+                },
+            }
+        )
+    for f in report.findings:
+        if f.rule not in index:
+            index[f.rule] = len(descriptors)
+            descriptors.append(
+                {"id": f.rule, "shortDescription": {"text": f.rule}}
+            )
+
+    results = []
+    for f in report.findings:
+        message = f.message if not f.hint else f"{f.message} (hint: {f.hint})"
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": index[f.rule],
+                "level": "error" if f.severity == "error" else "warning",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

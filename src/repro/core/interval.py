@@ -169,6 +169,19 @@ class Interval:
 IntervalLike = Union[Interval, Tuple[Number, Number], List[Number], Number]
 
 
+def endpoint_eq(a: Number, b: Number) -> bool:
+    """Exact identity of two *stored* interval endpoints.
+
+    Valid only for endpoints copied verbatim from the same source (e.g. a
+    cached ``max`` against the interval it came from) — never for values
+    that went through independent τ/2 shrink/expand arithmetic, where
+    float rounding makes exact equality meaningless. Keeping the ``==``
+    here, in the module that owns canonical endpoint comparisons, lets
+    call sites state that intent instead of carrying lint suppressions.
+    """
+    return a == b
+
+
 def intersect_all(intervals: Iterable[Interval]) -> Optional[Interval]:
     """Intersect an iterable of intervals; ``None`` if the result is empty.
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
-from ..core.interval import Interval, Number
+from ..core.interval import Interval, Number, endpoint_eq
 
 P = TypeVar("P")
 Item = Tuple[Interval, P]
@@ -228,7 +228,10 @@ class DynamicIntervalIndex(Generic[P]):
                 if not bucket:
                     del self._buckets[idx]
                     del self._maxhi[idx]
-                elif self._maxhi[idx] == interval.hi:
+                elif endpoint_eq(self._maxhi[idx], interval.hi):
+                    # The cached bucket max is a verbatim copy of some
+                    # stored endpoint, so identity (not tolerance) is the
+                    # right test for "did the max just leave?".
                     self._maxhi[idx] = max(it[0].hi for it in bucket)
                 return
         raise KeyError(f"({interval!r}, {payload!r}) not in index")
