@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze analyze-fast bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check examples figures clean
+.PHONY: install test lint analyze analyze-fast bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check bench-allen bench-allen-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -80,6 +80,18 @@ bench-service:
 bench-service-check:
 	PYTHONPATH=src python -m repro.bench.service --check \
 		--baseline BENCH_service.json --out BENCH_service_check.json
+
+# Lazy-sweep vs forward-scan (overlaps) and vs the naive predicate
+# scan (Allen atoms); refreshes the committed BENCH_allen.json.
+bench-allen:
+	PYTHONPATH=src python -m repro.bench.allen --out BENCH_allen.json
+
+# Regression gate against the committed baseline: re-measures the
+# check cells and fails if a speedup ratio regressed >15% or the
+# implementations disagreed on results.
+bench-allen-check:
+	PYTHONPATH=src python -m repro.bench.allen --check \
+		--baseline BENCH_allen.json --out BENCH_allen_check.json
 
 figures: bench
 	@cat benchmarks/results/*.txt

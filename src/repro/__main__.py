@@ -29,6 +29,7 @@ from .obs import ExecutionStats
 from .workloads.synthetic import SyntheticConfig, generate
 
 FAMILIES = {
+    "line2": lambda: JoinQuery.line(2),
     "line3": lambda: JoinQuery.line(3),
     "line4": lambda: JoinQuery.line(4),
     "star3": lambda: JoinQuery.star(3),
@@ -79,6 +80,14 @@ def main(argv=None) -> int:
                         help="prepare the database once (columnar intern/"
                              "rank/sort) and reuse the artifact across all "
                              "runs — the multi-query serving mode")
+    parser.add_argument("--predicate", default="overlaps", metavar="PRED",
+                        help="interval predicate joining pairs must satisfy: "
+                             "'overlaps' (default), another extended Allen "
+                             "atom (before, meets, starts, started-by, "
+                             "finishes, finished-by, during, contains, "
+                             "equals) or an '-or-' union such as "
+                             "'overlaps-or-meets'. Non-overlaps predicates "
+                             "need a binary query, e.g. the line2 family")
     parser.add_argument("--stats", action="store_true",
                         help="collect execution counters (EXPLAIN ANALYZE "
                              "style) and print them per algorithm")
@@ -92,6 +101,13 @@ def main(argv=None) -> int:
 
     try:
         _check_tau(args.tau)
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    from .algorithms.allen import parse_predicate
+
+    try:
+        predicate_atoms = parse_predicate(args.predicate)
     except ReproError as exc:
         parser.error(str(exc))
 
@@ -114,6 +130,11 @@ def main(argv=None) -> int:
 
     label = "custom query" if args.parse is not None else args.query
     print(f"Workload: synthetic {label}, N = {n} tuples, tau = {args.tau:g}")
+    if predicate_atoms != ("overlaps",):
+        print(
+            f"Predicate: {args.predicate} (lazy-sweep binary engine; "
+            "algorithms without a predicate path report not applicable)"
+        )
     if args.workers is not None:
         print(
             f"Parallel: {args.workers} time shards "
@@ -141,6 +162,8 @@ def main(argv=None) -> int:
     run_kwargs = {}
     if args.workers is not None:
         run_kwargs = {"workers": args.workers, "parallel_mode": args.parallel_mode}
+    if predicate_atoms != ("overlaps",):
+        run_kwargs["predicate"] = args.predicate
     if args.prepared:
         from .kernels.prepared import prepare
 

@@ -12,7 +12,8 @@ plane-sweep *interval join*, improving line-3 joins to ``O(N^1.5 + K)``.
 
 This module implements all three residual strategies:
 
-* two product groups → forward-scan interval join;
+* two product groups → lazy-sweep interval join (gapless active sets,
+  see :mod:`repro.algorithms.allen`; the paper used the forward scan);
 * k ≥ 3 product groups → a dedicated multi-way sweep (the residual query
   is hierarchical, so this is the §3.2 machinery specialized to disjoint
   unary groups);
@@ -34,7 +35,7 @@ from ..core.result import JoinResultSet
 from ..nontemporal.generic_join import generic_join_with_order
 from ..nontemporal.ghd import GuardedPartition, find_guarded_partition
 from ..obs import ExecutionStats
-from .interval_join import forward_scan_join
+from .allen import lazy_sweep_join
 
 Values = Tuple[object, ...]
 
@@ -226,9 +227,9 @@ def _emit_interval_join(
     out: JoinResultSet,
     stats: Optional[ExecutionStats] = None,
 ) -> None:
-    """Two disjoint residual groups: a single forward-scan interval join."""
+    """Two disjoint residual groups: a single lazy-sweep interval join."""
     (_, left_attrs, left_rows), (_, right_attrs, right_rows) = groups
-    pairs = forward_scan_join(left_rows, right_rows)
+    pairs = lazy_sweep_join(left_rows, right_rows)
     if stats is not None:
         stats.observe("ij.scan", len(left_rows) + len(right_rows))
         stats.observe("ij.pairs", len(pairs))

@@ -72,9 +72,9 @@ _DESCRIPTIONS = {
         "partition (lines, stars, TPC-style chains)."
     ),
     "baseline": (
-        "BASELINE: pairwise forward-scan binary temporal joins with a "
-        "value-statistics join-order search. Applicable everywhere; "
-        "vulnerable to intermediate blow-up."
+        "BASELINE: pairwise binary temporal joins (lazy endpoint sweep "
+        "by default) with a value-statistics join-order search. "
+        "Applicable everywhere; vulnerable to intermediate blow-up."
     ),
     "joinfirst": (
         "JOINFIRST: worst-case-optimal non-temporal join, then interval "
@@ -213,7 +213,11 @@ def _applicable(name: str, query: JoinQuery) -> bool:
 #: same reason: algorithms without a kernel fast path must have it
 #: stripped at dispatch, not see it and error. ``prepared`` likewise:
 #: only the dispatch layer knows how to swap prepared columns in.
-EXECUTOR_KWARGS = frozenset({"workers", "parallel_mode", "engine", "prepared"})
+#: ``predicate`` too: a non-``"overlaps"`` predicate reroutes dispatch to
+#: the binary lazy-sweep path before any algorithm is called.
+EXECUTOR_KWARGS = frozenset(
+    {"workers", "parallel_mode", "engine", "prepared", "predicate"}
+)
 
 #: Engines accepted by :func:`temporal_join` / :func:`explain_analyze`.
 ENGINES = ("auto", "kernel", "object")
@@ -337,6 +341,76 @@ def _resolve_auto(
     return "hybrid", fallback, _strip_unsupported_kwargs(fallback, kwargs)
 
 
+def _binary_predicate_join(
+    query: JoinQuery,
+    database: Mapping[str, TemporalRelation],
+    tau: Number,
+    predicate: str,
+    algorithm: str,
+    stats: Optional[ExecutionStats],
+    workers: Optional[int],
+    engine: str,
+    prepared,
+) -> JoinResultSet:
+    """Dispatch a non-``overlaps`` predicate to the lazy-sweep binary path.
+
+    Allen predicates are defined on a *pair* of intervals, so they apply
+    to binary queries only; the multiway machinery (attribute trees,
+    GHDs, shard-ownership merge) is all built on intersection semantics.
+    Hence the up-front :class:`QueryError` walls: exactly two edges, no
+    parallel workers, and only the ``auto``/``baseline`` algorithm names
+    (both of which mean "the binary join" on a two-edge query anyway).
+
+    τ filters the *emitted* pair interval — the intersection, or the gap
+    for ``before`` — by duration, consistent with the shrink/expand
+    durability semantics of the overlaps path (where the emitted
+    interval is always the intersection).
+    """
+    names = query.edge_names
+    if len(names) != 2:
+        raise QueryError(
+            f"predicate {predicate!r} requires a binary query (exactly two "
+            f"edges); got {len(names)} edges {list(names)}. Only the "
+            "default 'overlaps' predicate supports multiway queries."
+        )
+    if workers is not None and workers > 1:
+        raise QueryError(
+            f"predicate {predicate!r} does not support workers={workers}: "
+            "the sharded merge's ownership rule assumes overlap semantics"
+        )
+    if algorithm not in ("auto", "baseline"):
+        raise QueryError(
+            f"predicate {predicate!r} runs the lazy-sweep binary engine; "
+            f"algorithm must be 'auto' or 'baseline', got {algorithm!r}"
+        )
+    query.validate(database)
+    if engine == "object":
+        from .binary import binary_temporal_join
+
+        joined = binary_temporal_join(
+            database[names[0]],
+            database[names[1]],
+            strategy="lazy-sweep",
+            predicate=predicate,
+            stats=stats,
+        )
+        out = JoinResultSet(query.attrs)
+        perm = joined.positions(query.attrs) if len(joined) else ()
+        for values, interval in joined:
+            out.append(tuple(values[p] for p in perm), interval)
+    else:
+        from ..kernels.allen import kernel_predicate_join
+
+        out = kernel_predicate_join(
+            query, database, predicate, stats=stats, prepared=prepared
+        )
+    if tau:
+        out = out.filter_durable(tau)
+    if stats is not None:
+        stats.incr("results", len(out))
+    return out
+
+
 def temporal_join(
     query: JoinQuery,
     database: Mapping[str, TemporalRelation],
@@ -347,6 +421,7 @@ def temporal_join(
     parallel_mode: str = "process",
     engine: str = "auto",
     prepared=None,
+    predicate: str = "overlaps",
     **kwargs,
 ) -> JoinResultSet:
     """Evaluate the τ-durable temporal join of ``query`` on ``database``.
@@ -396,6 +471,20 @@ def temporal_join(
         Ignored by the object path. See also
         :func:`repro.kernels.prepared.run_batch` for whole-fleet
         amortization.
+    predicate:
+        The interval predicate joining pairs must satisfy: the default
+        ``"overlaps"`` (nonempty intersection — the paper's implicit
+        join predicate, supported by every algorithm/engine/worker
+        combination), any other extended Allen atom (``before``,
+        ``meets``, ``starts``, ``started-by``, ``finishes``,
+        ``finished-by``, ``during``, ``contains``, ``equals``) or an
+        ``-or-`` union of atoms (``"overlaps-or-meets"``). Non-overlaps
+        predicates require a **binary** (two-edge) query and run the
+        lazy-sweep engine directly (serial only; ``engine=`` still
+        selects object vs rank-space kernel execution); result intervals
+        are the pair intersection, or the gap for ``before``, and τ
+        filters that interval's duration. See
+        :mod:`repro.algorithms.allen`.
     kwargs:
         Forwarded to the selected algorithm (e.g. ``order=`` for
         ``baseline``, ``mode=`` for ``hybrid``).
@@ -413,6 +502,13 @@ def temporal_join(
         raise QueryError(f"workers must be >= 1, got {workers!r}")
     if prepared is not None:
         prepared.validate_against(database)
+    from .allen import parse_predicate
+
+    if parse_predicate(predicate) != ("overlaps",):
+        return _binary_predicate_join(
+            query, database, tau, predicate, algorithm, stats, workers,
+            engine, prepared,
+        )
     if workers is not None and workers > 1:
         from ..parallel import parallel_temporal_join
 
@@ -522,6 +618,7 @@ def explain_analyze(
     parallel_mode: str = "process",
     engine: str = "auto",
     prepared=None,
+    predicate: str = "overlaps",
     **kwargs,
 ) -> ExplainAnalyze:
     """Run the join with telemetry attached and report plan + counters.
@@ -545,6 +642,36 @@ def explain_analyze(
     _ensure_loaded()
     _check_tau(tau)
     _check_engine(engine)
+    from .allen import parse_predicate
+
+    if parse_predicate(predicate) != ("overlaps",):
+        # Non-overlaps predicates bypass the Figure-7 planner entirely:
+        # the binary lazy-sweep path is the plan.
+        if prepared is not None:
+            prepared.validate_against(database)
+        if stats is None:
+            stats = ExecutionStats()
+        start = time.perf_counter()
+        result = _binary_predicate_join(
+            query, database, tau, predicate, algorithm, stats, workers,
+            engine, prepared,
+        )
+        seconds = time.perf_counter() - start
+        return ExplainAnalyze(
+            algorithm="lazy-sweep",
+            plan_explanation=(
+                f"binary Allen-predicate join (predicate={predicate!r}): "
+                "one lazy endpoint sweep per shared-attribute key group; "
+                "no multiway plan applies"
+            ),
+            stats=stats,
+            result=result,
+            seconds=seconds,
+            tau=tau,
+            input_size=sum(len(rel) for rel in database.values()),
+            engine="object" if engine == "object" else "kernel",
+            kernel_fallback=None,
+        )
     if prepared is not None:
         prepared.validate_against(database)
         choice = prepared.cached_plan(query, stats=stats)

@@ -1,0 +1,308 @@
+"""Allen-sweep benchmark: lazy-sweep vs the classic baselines, gated.
+
+``make bench-allen`` runs this module to produce ``BENCH_allen.json`` —
+the committed record of what the endpoint-sorted lazy sweep
+(:mod:`repro.algorithms.allen`) buys over the strategies it replaced.
+Two cell families:
+
+``overlaps``
+    ``lazy_sweep_join`` vs ``forward_scan_join`` on the same random
+    interval workload — both are plane-sweeps, so the ratio isolates
+    the gapless active-set representation and lazy pair construction.
+    This is the cell the default-strategy flip rests on.
+
+``during`` (and other non-overlaps atoms)
+    ``lazy_sweep_join``'s event sweep vs the naive O(n*m) predicate
+    scan — the only classic strategy that can answer Allen atoms at
+    all. Kept at a small size because the naive side is quadratic.
+
+Like ``bench.kernels`` this is a smoke benchmark: absolute seconds are
+machine-local noise, but the *speedup ratio* between two algorithms on
+the same machine and instance is comparable across machines, which is
+what the regression gate checks.
+
+Two modes::
+
+    python -m repro.bench.allen --out BENCH_allen.json
+        Full run (all cells), writes the JSON document.
+
+    python -m repro.bench.allen --check --baseline BENCH_allen.json
+        Regression gate: re-measures the check cells and fails (exit 1)
+        if a speedup dropped more than ``--tolerance`` (default 15%)
+        below the committed baseline's ratio, or below 1.0x outright.
+
+Every cell cross-validates the two implementations' sorted outputs; a
+mismatch marks the cell ``ok: false`` and fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.allen import ATOMS, lazy_sweep_join, pair_interval
+from ..algorithms.interval_join import forward_scan_join
+from ..core.interval import Interval
+from .reporting import format_seconds
+
+#: Workload sizes: label -> items per side. The time span scales with N
+#: (lengths stay ~uniform(0, 20)) so pair density per tuple is constant
+#: across sizes instead of exploding quadratically.
+SIZES: Dict[str, int] = {
+    "1k": 1_000,
+    "3k": 3_000,
+    "10k": 10_000,
+}
+
+#: Cell families: predicate -> (baseline label, sizes measured). The
+#: naive baseline is quadratic, so non-overlaps atoms stay small.
+FAMILIES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "overlaps": ("forward-scan", ("1k", "3k", "10k")),
+    "during": ("naive", ("1k",)),
+    "meets": ("naive", ("1k",)),
+}
+
+#: Cells the ``--check`` gate re-measures: the 10k overlaps cell is the
+#: one the default-strategy flip (and the issue's 1.3x floor) rests on;
+#: one naive-baseline cell keeps the event sweep honest.
+CHECK_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("overlaps", "10k"),
+    ("during", "1k"),
+)
+
+DEFAULT_TOLERANCE = 0.15
+DEFAULT_REPEAT = 5
+
+
+def make_workload(size: str, seed: int, grid: bool = False) -> Tuple[list, list]:
+    """Two sides of random intervals: starts uniform over a span that
+    scales with N, lengths uniform(0, 20).
+
+    ``grid=True`` snaps endpoints to integers so equality-shaped atoms
+    (``meets``, ``starts``, ...) actually fire; float endpoints almost
+    never coincide.
+    """
+    n = SIZES[size]
+    rng = random.Random(seed)
+    span = float(n)
+    sides = []
+    for prefix in ("l", "r"):
+        items = []
+        for i in range(n):
+            if grid:
+                lo = float(rng.randrange(n))
+                hi = lo + rng.randrange(21)
+            else:
+                lo = rng.uniform(0.0, span)
+                hi = lo + rng.uniform(0.0, 20.0)
+            items.append((f"{prefix}{i}", Interval(lo, hi)))
+        sides.append(items)
+    return sides[0], sides[1]
+
+
+def naive_predicate_join(left, right, predicate: str) -> list:
+    """O(n*m) oracle: test the atom on every pair."""
+    holds = ATOMS[predicate].holds
+    out = []
+    for lpay, livl in left:
+        llo = livl.lo
+        lhi = livl.hi
+        for rpay, rivl in right:
+            if holds(llo, lhi, rivl.lo, rivl.hi):
+                out.append(
+                    (lpay, rpay,
+                     Interval(*pair_interval(llo, lhi, rivl.lo, rivl.hi)))
+                )
+    return out
+
+
+def _time(fn, repeat: int) -> Tuple[float, list]:
+    """Best-of-``repeat`` wall time and the (last) result."""
+    best = float("inf")
+    result: list = []
+    for _ in range(repeat):
+        # Drain garbage left by earlier cells so a collection pause
+        # triggered by their allocations cannot land inside this
+        # measurement.
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_cell(predicate: str, size: str, repeat: int = DEFAULT_REPEAT) -> dict:
+    """Measure one (predicate, size) cell, cross-validating outputs."""
+    baseline_name, _ = FAMILIES[predicate]
+    left, right = make_workload(
+        size, seed=SIZES[size], grid=(baseline_name == "naive")
+    )
+    if baseline_name == "forward-scan":
+        base_seconds, base_out = _time(
+            lambda: forward_scan_join(left, right), repeat
+        )
+    else:
+        base_seconds, base_out = _time(
+            lambda: naive_predicate_join(left, right, predicate), repeat
+        )
+    sweep_seconds, sweep_out = _time(
+        lambda: lazy_sweep_join(left, right, predicate=predicate), repeat
+    )
+    ok = sorted(base_out) == sorted(sweep_out)
+    return {
+        "family": predicate,
+        "size": size,
+        "baseline": baseline_name,
+        "input_tuples": len(left) + len(right),
+        "pairs": len(sweep_out),
+        "baseline_seconds": base_seconds,
+        "sweep_seconds": sweep_seconds,
+        "speedup": base_seconds / sweep_seconds if sweep_seconds else 0.0,
+        "ok": ok,
+    }
+
+
+def run_bench(
+    cells_wanted: Optional[Sequence[Tuple[str, str]]] = None,
+    repeat: int = DEFAULT_REPEAT,
+) -> dict:
+    """Measure the requested cells (default: all) and return the doc."""
+    if cells_wanted is None:
+        cells_wanted = [
+            (predicate, size)
+            for predicate, (_, sizes) in FAMILIES.items()
+            for size in sizes
+        ]
+    cells: List[dict] = [
+        run_cell(predicate, size, repeat=repeat)
+        for predicate, size in cells_wanted
+    ]
+    return {
+        "benchmark": "allen",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "generator": "bench.allen.make_workload",
+            "repeat": repeat,
+            "sizes": dict(SIZES),
+        },
+        "cells": cells,
+        "rendered": render_cells(cells),
+    }
+
+
+def render_cells(cells: Sequence[dict]) -> str:
+    """Compact ASCII table of the cell list."""
+    header = (
+        f"{'predicate':>9} {'size':>5} {'tuples':>7} {'pairs':>8} "
+        f"{'baseline':>12} {'sweep':>9} {'speedup':>8} {'ok':>3}"
+    )
+    lines = ["Lazy sweep vs classic baselines", header, "-" * len(header)]
+    for c in cells:
+        base = f"{c['baseline'][:3]} {format_seconds(c['baseline_seconds'])}"
+        lines.append(
+            f"{c['family']:>9} {c['size']:>5} {c['input_tuples']:>7} "
+            f"{c['pairs']:>8} {base:>12} "
+            f"{format_seconds(c['sweep_seconds']):>9} "
+            f"{c['speedup']:>7.2f}x {'ok' if c['ok'] else 'BAD':>3}"
+        )
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    doc: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Gate: compare measured speedups against the committed baseline.
+
+    Returns the list of failure messages (empty = gate passes). The
+    comparison is on the ratio, which cancels machine speed; a cell
+    fails when the sweep is slower than its baseline outright, when
+    its ratio regressed more than ``tolerance`` below the committed
+    ratio, or when the implementations disagreed on results.
+    """
+    base = {(c["family"], c["size"]): c for c in baseline.get("cells", [])}
+    failures: List[str] = []
+    for cell in doc["cells"]:
+        key = (cell["family"], cell["size"])
+        label = f"{cell['family']}/{cell['size']}"
+        if not cell["ok"]:
+            failures.append(f"{label}: implementations returned different results")
+            continue
+        if cell["speedup"] < 1.0:
+            failures.append(
+                f"{label}: sweep slower than {cell['baseline']} "
+                f"({cell['speedup']:.2f}x < 1.00x)"
+            )
+            continue
+        ref = base.get(key)
+        if ref is None:
+            continue  # new cell; nothing to regress against
+        floor = ref["speedup"] * (1.0 - tolerance)
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{label}: speedup {cell['speedup']:.2f}x regressed below "
+                f"{floor:.2f}x (baseline {ref['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.allen",
+        description="Lazy-sweep vs classic baselines (JSON output + gate)",
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the measured JSON document here")
+    parser.add_argument("--check", action="store_true",
+                        help="regression-gate mode: compare vs --baseline")
+    parser.add_argument("--baseline", default="BENCH_allen.json",
+                        help="committed baseline JSON (check mode)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative speedup regression "
+                             "(default 0.15)")
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT,
+                        help="timing repeats per cell, best-of (default 3)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    cells_wanted = list(CHECK_CELLS) if args.check else None
+    doc = run_bench(cells_wanted=cells_wanted, repeat=args.repeat)
+    print(doc["rendered"])
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_against_baseline(doc, baseline, args.tolerance)
+        if failures:
+            print("\nallen benchmark gate FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nallen benchmark gate passed "
+              f"(tolerance {args.tolerance:.0%} vs {args.baseline})")
+        return 0
+
+    return 0 if all(c["ok"] for c in doc["cells"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

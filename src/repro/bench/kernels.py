@@ -28,6 +28,7 @@ table over wrong answers is worse than no table.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import time
@@ -67,6 +68,10 @@ def _time_engine(query, database, engine: str, tau: float, repeat: int):
     best = float("inf")
     result = None
     for _ in range(max(1, repeat)):
+        # Drain garbage left by earlier cells/engines so a collection
+        # pause triggered by *their* allocations cannot land inside
+        # this measurement (at repeat=1 there is no second chance).
+        gc.collect()
         start = time.perf_counter()
         result = temporal_join(
             query, database, tau=tau, algorithm="timefirst", engine=engine

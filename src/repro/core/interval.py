@@ -61,6 +61,23 @@ class Interval:
         """The degenerate interval ``[t, t]``."""
         return Interval(t, t)
 
+    @classmethod
+    def _fast(cls, lo: Number, hi: Number) -> "Interval":
+        """Unchecked construction for hot sweep kernels.
+
+        Skips ``__init__``/``__post_init__`` validation (ordering and NaN
+        checks), which dominates per-pair cost in the interval-join inner
+        loops. Callers must guarantee ``lo <= hi`` and non-NaN endpoints —
+        true by construction wherever both values are endpoints of already
+        validated intervals and ``lo`` is a max of los / ``hi`` a min of
+        his. The resulting object is indistinguishable from a checked one
+        (same fields, equality, hash, ordering).
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        return self
+
     @staticmethod
     def coerce(value: "IntervalLike") -> "Interval":
         """Build an :class:`Interval` from an interval, pair, or instant."""

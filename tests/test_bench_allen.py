@@ -1,0 +1,110 @@
+"""Tests for the bench-allen entry point and its regression gate."""
+
+import json
+from pathlib import Path
+
+from repro.bench.allen import (
+    check_against_baseline,
+    main,
+    make_workload,
+    naive_predicate_join,
+    run_bench,
+    run_cell,
+)
+
+
+def _tiny_doc():
+    # One sweep-vs-forward-scan cell and one sweep-vs-naive cell at the
+    # smallest size keeps the test fast while still timing real sweeps.
+    return run_bench(cells_wanted=[("overlaps", "1k"), ("meets", "1k")], repeat=1)
+
+
+def _pinned_doc():
+    # Gate-logic tests compare ratios, not machines: pin the measured
+    # speedups so a noisy cell cannot change which gate rule fires.
+    doc = _tiny_doc()
+    for cell in doc["cells"]:
+        cell["speedup"] = 2.0
+    return doc
+
+
+class TestRunBench:
+    def test_document_shape(self):
+        doc = _tiny_doc()
+        assert doc["benchmark"] == "allen"
+        assert [(c["family"], c["size"]) for c in doc["cells"]] == [
+            ("overlaps", "1k"), ("meets", "1k"),
+        ]
+        for cell in doc["cells"]:
+            assert cell["ok"], cell
+            assert cell["baseline_seconds"] > 0
+            assert cell["sweep_seconds"] > 0
+        assert doc["cells"][0]["baseline"] == "forward-scan"
+        assert doc["cells"][1]["baseline"] == "naive"
+        assert "speedup" in doc["rendered"]
+
+    def test_cell_cross_validates_outputs(self):
+        cell = run_cell("during", "1k", repeat=1)
+        assert cell["ok"]
+        assert cell["pairs"] > 0
+
+    def test_grid_workload_makes_equality_atoms_fire(self):
+        # Float endpoints almost never coincide; the gridded workload
+        # must produce a nonzero meets count or the cell is vacuous.
+        left, right = make_workload("1k", seed=1000, grid=True)
+        assert naive_predicate_join(left, right, "meets")
+
+
+class TestGate:
+    def test_passes_against_itself(self):
+        doc = _pinned_doc()
+        assert check_against_baseline(doc, doc, tolerance=0.15) == []
+
+    def test_flags_regression_beyond_tolerance(self):
+        doc = _pinned_doc()
+        inflated = json.loads(json.dumps(doc))
+        for cell in inflated["cells"]:
+            cell["speedup"] *= 10
+        failures = check_against_baseline(doc, inflated, tolerance=0.15)
+        assert len(failures) == len(doc["cells"])
+        assert all("regressed" in f for f in failures)
+
+    def test_flags_sweep_slower_than_baseline(self):
+        doc = _pinned_doc()
+        slow = json.loads(json.dumps(doc))
+        for cell in slow["cells"]:
+            cell["speedup"] = 0.5
+        failures = check_against_baseline(slow, doc, tolerance=0.15)
+        assert all("slower than" in f for f in failures)
+
+    def test_flags_result_mismatch(self):
+        doc = _pinned_doc()
+        bad = json.loads(json.dumps(doc))
+        bad["cells"][0]["ok"] = False
+        failures = check_against_baseline(bad, doc, tolerance=0.15)
+        assert any("different results" in f for f in failures)
+
+    def test_new_cells_have_nothing_to_regress_against(self):
+        doc = _pinned_doc()
+        assert check_against_baseline(doc, {"cells": []}) == []
+
+
+class TestMain:
+    def test_check_mode_missing_baseline(self, tmp_path, capsys):
+        rc = main([
+            "--check", "--baseline", str(tmp_path / "nope.json"),
+        ])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().out
+
+    def test_committed_baseline_meets_the_issue_floor(self):
+        # The default-strategy flip rests on the committed measurement:
+        # lazy-sweep must beat forward-scan by >= 1.3x at N = 10k.
+        baseline = Path(__file__).resolve().parent.parent / "BENCH_allen.json"
+        doc = json.loads(baseline.read_text())
+        cell = next(
+            c for c in doc["cells"]
+            if c["family"] == "overlaps" and c["size"] == "10k"
+        )
+        assert cell["ok"]
+        assert cell["speedup"] >= 1.3

@@ -15,6 +15,16 @@ def _tiny_doc():
     return run_bench(sizes=("1k",), repeat=1)
 
 
+def _pinned_doc():
+    # Gate-logic tests compare ratios, not machines: pin the measured
+    # speedups so a noisy cell (e.g. a sub-1.0x blip under suite load)
+    # cannot change which gate rule fires.
+    doc = _tiny_doc()
+    for cell in doc["cells"]:
+        cell["speedup"] = 2.0
+    return doc
+
+
 class TestRunBench:
     def test_document_shape(self):
         doc = _tiny_doc()
@@ -36,11 +46,11 @@ class TestRunBench:
 
 class TestGate:
     def test_passes_against_itself(self):
-        doc = _tiny_doc()
+        doc = _pinned_doc()
         assert check_against_baseline(doc, doc, tolerance=0.15) == []
 
     def test_flags_regression_beyond_tolerance(self):
-        doc = _tiny_doc()
+        doc = _pinned_doc()
         inflated = json.loads(json.dumps(doc))
         for cell in inflated["cells"]:
             cell["speedup"] *= 10
@@ -49,7 +59,7 @@ class TestGate:
         assert all("regressed" in f for f in failures)
 
     def test_flags_kernel_slower_than_object(self):
-        doc = _tiny_doc()
+        doc = _pinned_doc()
         slow = json.loads(json.dumps(doc))
         for cell in slow["cells"]:
             cell["speedup"] = 0.5
@@ -57,14 +67,14 @@ class TestGate:
         assert all("slower than object" in f for f in failures)
 
     def test_flags_result_mismatch(self):
-        doc = _tiny_doc()
+        doc = _pinned_doc()
         bad = json.loads(json.dumps(doc))
         bad["cells"][0]["ok"] = False
         failures = check_against_baseline(bad, doc, tolerance=0.15)
         assert any("different results" in f for f in failures)
 
     def test_new_cells_have_nothing_to_regress_against(self):
-        doc = _tiny_doc()
+        doc = _pinned_doc()
         empty_baseline = {"cells": []}
         assert check_against_baseline(doc, empty_baseline) == []
 
@@ -83,9 +93,12 @@ class TestMain:
         baseline = tmp_path / "baseline.json"
         rc = main(["--out", str(baseline), "--sizes", "1k", "--repeat", "1"])
         assert rc == 0
+        # Generous tolerance: this test exercises the round-trip
+        # mechanics (write, read back, compare, exit 0), not the
+        # machine's run-to-run timing stability at repeat=1.
         rc = main([
             "--check", "--baseline", str(baseline),
-            "--sizes", "1k", "--repeat", "1",
+            "--sizes", "1k", "--repeat", "1", "--tolerance", "0.9",
         ])
         assert rc == 0
         assert "gate passed" in capsys.readouterr().out

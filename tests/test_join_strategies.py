@@ -66,11 +66,25 @@ class TestSortMerge:
 
 class TestDispatch:
     def test_all_strategies_registered(self):
-        assert set(JOIN_STRATEGIES) == {"forward-scan", "index", "sort-merge"}
+        assert set(JOIN_STRATEGIES) == {
+            "forward-scan", "index", "sort-merge", "lazy-sweep"
+        }
 
     def test_unknown_strategy(self):
-        with pytest.raises(QueryError):
+        with pytest.raises(QueryError) as exc:
             interval_join([], [], strategy="quantum")
+        # The error must name the valid strategies.
+        assert "lazy-sweep" in str(exc.value)
+
+    def test_unknown_predicate(self):
+        with pytest.raises(QueryError) as exc:
+            interval_join([], [], predicate="sideways")
+        assert "overlaps" in str(exc.value)
+
+    def test_predicate_needs_capable_strategy(self):
+        with pytest.raises(QueryError) as exc:
+            interval_join([], [], strategy="forward-scan", predicate="meets")
+        assert "lazy-sweep" in str(exc.value)
 
     @pytest.mark.parametrize("strategy", sorted(JOIN_STRATEGIES))
     def test_strategies_agree(self, strategy):

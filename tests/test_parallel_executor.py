@@ -229,11 +229,12 @@ class TestRegistryRouting:
         stripped = strip_unsupported_kwargs(joinfirst_join, kwargs)
         assert stripped == {"workers": 4, "parallel_mode": "inline"}
         # "engine" joined the dispatch-layer kwargs with the kernel
-        # substrate, "prepared" with the prepared-columns engine:
-        # algorithms without a kernel fast path must have both stripped
-        # rather than see them and error.
+        # substrate, "prepared" with the prepared-columns engine,
+        # "predicate" with the Allen-predicate dispatch: algorithms
+        # without those paths must have them stripped rather than see
+        # them and error.
         assert EXECUTOR_KWARGS == {
-            "workers", "parallel_mode", "engine", "prepared",
+            "workers", "parallel_mode", "engine", "prepared", "predicate",
         }
 
     def test_strip_keeps_engine_kwarg(self):
