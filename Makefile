@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze analyze-fast bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check bench-allen bench-allen-check examples figures clean
+.PHONY: install test lint analyze analyze-fast bench bench-smoke bench-kernels bench-kernels-check bench-prepared bench-prepared-check bench-service bench-service-check bench-allen bench-allen-check bench-planner bench-planner-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -92,6 +92,18 @@ bench-allen:
 bench-allen-check:
 	PYTHONPATH=src python -m repro.bench.allen --check \
 		--baseline BENCH_allen.json --out BENCH_allen_check.json
+
+# Cold exact decomposition search vs warm persistent plan cache over
+# the Table 1 fleet; refreshes the committed BENCH_planner.json.
+bench-planner:
+	PYTHONPATH=src python -m repro.bench.planner --out BENCH_planner.json
+
+# Regression gate against the committed baseline: fails if the warm
+# arm did any search work, missed the cache, fell below the 2x
+# amortization floor, or regressed >15% vs the baseline ratio.
+bench-planner-check:
+	PYTHONPATH=src python -m repro.bench.planner --check \
+		--baseline BENCH_planner.json --out BENCH_planner_check.json
 
 figures: bench
 	@cat benchmarks/results/*.txt

@@ -91,6 +91,16 @@ def main(argv=None) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="collect execution counters (EXPLAIN ANALYZE "
                              "style) and print them per algorithm")
+    parser.add_argument("--plan-cache", default=None, metavar="DIR",
+                        help="persistent plan-cache directory: the "
+                             "minimum-width decomposition search runs at "
+                             "most once per query shape across processes "
+                             "(created on first use)")
+    parser.add_argument("--planner-budget", type=int, default=None,
+                        metavar="N",
+                        help="node budget for the exact decomposition "
+                             "search; when exhausted the planner degrades "
+                             "to the best-found GHD (optimal: no)")
     parser.add_argument("--list", action="store_true",
                         help="describe the registered algorithms and exit")
     args = parser.parse_args(argv)
@@ -141,9 +151,16 @@ def main(argv=None) -> int:
             f"({args.parallel_mode} mode, exactly-once merge)"
         )
     print()
+    if args.planner_budget is not None and args.planner_budget < 1:
+        parser.error(f"--planner-budget must be >= 1, got {args.planner_budget}")
+
     print("Figure 7 planner decision")
     print("-" * 40)
-    print(plan(query).explain())
+    print(
+        plan(
+            query, cache=args.plan_cache, budget=args.planner_budget
+        ).explain()
+    )
     print()
     print("Cost-based advisor (data-aware, Section 6.3 future work)")
     print("-" * 40)
@@ -168,7 +185,7 @@ def main(argv=None) -> int:
         from .kernels.prepared import prepare
 
         start = time.perf_counter()
-        artifact = prepare(database)
+        artifact = prepare(database, plan_cache=args.plan_cache)
         print(
             f"Prepared columns: {artifact.columns.n_rows} rows interned, "
             f"ranked and event-sorted once in "

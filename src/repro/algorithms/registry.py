@@ -317,7 +317,7 @@ _strip_unsupported_kwargs = strip_unsupported_kwargs
 
 
 def _resolve_auto(
-    query: JoinQuery, kwargs: Dict, choice=None
+    query: JoinQuery, kwargs: Dict, choice=None, stats=None
 ) -> Tuple[str, Algorithm, Dict]:
     """Run the Figure 7 planner and validate its pick up front.
 
@@ -328,12 +328,14 @@ def _resolve_auto(
     including :class:`PlanError` from nested machinery — propagate to
     the caller untouched. Callers that already hold the
     :class:`~repro.core.planner.Plan` pass it as ``choice`` so the
-    planner runs once per call, not once per layer.
+    planner runs once per call, not once per layer; ``stats`` (used only
+    when the planner actually runs here) collects the ``planner.*``
+    search counters.
     """
     from ..core.planner import plan
 
     if choice is None:
-        choice = plan(query)
+        choice = plan(query, stats=stats)
     name = choice.algorithm
     if _applicable(name, query):
         return name, _REGISTRY[name], kwargs
@@ -529,7 +531,7 @@ def temporal_join(
             choice = prepared.cached_plan(query, stats=stats)
             name, fn, kwargs = _resolve_auto(query, kwargs, choice=choice)
         else:
-            name, fn, kwargs = _resolve_auto(query, kwargs)
+            name, fn, kwargs = _resolve_auto(query, kwargs, stats=stats)
     else:
         name = algorithm
         fn = get_algorithm(algorithm)
@@ -672,13 +674,17 @@ def explain_analyze(
             engine="object" if engine == "object" else "kernel",
             kernel_fallback=None,
         )
+    if stats is None:
+        # Created before the planner runs so the ``planner.*`` search
+        # counters land in the report alongside the execution counters.
+        stats = ExecutionStats()
     if prepared is not None:
         prepared.validate_against(database)
         choice = prepared.cached_plan(query, stats=stats)
     else:
         from ..core.planner import plan
 
-        choice = plan(query)
+        choice = plan(query, stats=stats)
     if algorithm == "auto":
         # The planner already ran above; reuse its plan rather than
         # re-deriving it inside the resolver.
@@ -690,8 +696,6 @@ def explain_analyze(
     # helper the dispatch sites use — the reported engine is the engine
     # that runs, by construction rather than by synchronized duplicates.
     used_engine, kernel_fallback = _engine_decision(name, engine, kwargs)
-    if stats is None:
-        stats = ExecutionStats()
     start = time.perf_counter()
     if workers is not None and workers > 1:
         from ..parallel import parallel_temporal_join

@@ -1,0 +1,296 @@
+"""Planner benchmark: exact decomposition search vs warm plan cache.
+
+``make bench-planner`` runs this module to produce ``BENCH_planner.json``
+— the committed record of what the persistent plan cache
+(:mod:`repro.core.plancache`) buys over re-running the exact
+minimum-width search on every process start. The fleet is the Table 1
+query set (the paper's named families); each arm plans the whole fleet:
+
+* **cold** — every per-process cache is cleared first (the search memo
+  and the fractional-cover LP memo), then ``plan()`` runs with no
+  persistent cache: every query pays the full branch-and-bound plus its
+  LP lower-bound calls;
+* **warm** — the same caches are cleared, but ``plan()`` reads a
+  pre-populated :class:`~repro.core.plancache.PlanCache` re-loaded from
+  disk each repeat (simulating a fresh process): every query rebuilds
+  its cached winning GHDs and performs **zero** search nodes.
+
+Absolute seconds are machine noise; the cold/warm *ratio* on the same
+machine is what the regression gate compares. The gate additionally
+pins the cache contract itself: the warm arm must answer every query
+from the cache (``planner.cache_hits == fleet size``, zero search
+nodes) and the amortization must stay at or above the 2x floor the
+cache exists to provide. Plans from both arms are cross-checked
+(widths, exponent, algorithm) query by query.
+
+Two modes::
+
+    python -m repro.bench.planner --out BENCH_planner.json
+        Full run, writes the JSON document.
+
+    python -m repro.bench.planner --check --baseline BENCH_planner.json
+        Regression gate: re-measures and fails (exit 1) if the warm
+        amortization dropped more than ``--tolerance`` (default 15%)
+        below the committed baseline's, or below the 2.0x floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.plancache import PlanCache
+from ..core.planner import plan
+from ..core.query import JoinQuery
+from ..nontemporal.cover import _fractional_edge_cover_cached
+from ..nontemporal.search import clear_search_memo
+from ..obs import ExecutionStats
+from .reporting import format_seconds
+
+#: The Table 1 fleet: every named family the paper's guideline table
+#: covers, plus the larger cycles where the search actually works. All
+#: shapes are distinct — the amortization measured here is pure
+#: cache-vs-search, not intra-fleet sharing.
+FLEET: Tuple[Tuple[str, Callable[[], JoinQuery]], ...] = (
+    ("line2", lambda: JoinQuery.line(2)),
+    ("line3", lambda: JoinQuery.line(3)),
+    ("line4", lambda: JoinQuery.line(4)),
+    ("star3", lambda: JoinQuery.star(3)),
+    ("star4", lambda: JoinQuery.star(4)),
+    ("triangle", JoinQuery.triangle),
+    ("cycle4", lambda: JoinQuery.cycle(4)),
+    ("cycle5", lambda: JoinQuery.cycle(5)),
+    ("cycle6", lambda: JoinQuery.cycle(6)),
+    ("bowtie", JoinQuery.bowtie),
+    ("hier", JoinQuery.hier),
+)
+
+#: The amortization floor the gate enforces regardless of baseline.
+MIN_AMORTIZATION = 2.0
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def _cold_process() -> None:
+    """Drop every per-process memo, simulating a fresh interpreter."""
+    clear_search_memo()
+    _fractional_edge_cover_cached.cache_clear()
+
+
+def _plan_fleet(cache: Optional[PlanCache], stats=None) -> List:
+    return [
+        plan(make(), cache=cache, stats=stats) for _, make in FLEET
+    ]
+
+
+def run_cell(repeat: int = 3) -> dict:
+    """Measure the fleet cold (full search) vs warm (persistent cache)."""
+    with tempfile.TemporaryDirectory(prefix="repro-plan-bench-") as root:
+        cache_dir = os.path.join(root, "plans")
+
+        # Populate the persistent cache once (not timed) and keep the
+        # plans as the cross-check reference.
+        _cold_process()
+        seed_cache = PlanCache(cache_dir)
+        reference = _plan_fleet(seed_cache)
+
+        cold_s = float("inf")
+        cold_plans = None
+        for _ in range(max(1, repeat)):
+            _cold_process()
+            start = time.perf_counter()
+            cold_plans = _plan_fleet(None)
+            cold_s = min(cold_s, time.perf_counter() - start)
+
+        warm_s = float("inf")
+        warm_plans = None
+        for _ in range(max(1, repeat)):
+            _cold_process()
+            start = time.perf_counter()
+            warm_plans = _plan_fleet(PlanCache(cache_dir))
+            warm_s = min(warm_s, time.perf_counter() - start)
+
+        ok = all(
+            (w.fhtw, w.hhtw, w.exponent, w.algorithm)
+            == (c.fhtw, c.hhtw, c.exponent, c.algorithm)
+            == (r.fhtw, r.hhtw, r.exponent, r.algorithm)
+            for w, c, r in zip(warm_plans, cold_plans, reference)
+        )
+
+        # Counter profile from separate instrumented runs, so telemetry
+        # never contaminates the timed numbers.
+        _cold_process()
+        cold_stats = ExecutionStats()
+        _plan_fleet(None, stats=cold_stats)
+        _cold_process()
+        warm_stats = ExecutionStats()
+        _plan_fleet(PlanCache(cache_dir), stats=warm_stats)
+
+    return {
+        "fleet": [name for name, _ in FLEET],
+        "queries": len(FLEET),
+        "widths": {
+            name: {"fhtw": p.fhtw, "hhtw": p.hhtw, "exponent": p.exponent}
+            for (name, _), p in zip(FLEET, reference)
+        },
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "amortized_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "ok": ok,
+        "cold": {
+            "search_nodes": cold_stats.get("planner.search_nodes"),
+            "lb_prunes": cold_stats.get("planner.lb_prunes"),
+        },
+        "warm": {
+            "search_nodes": warm_stats.get("planner.search_nodes"),
+            "cache_hits": warm_stats.get("planner.cache_hits"),
+            "cache_misses": warm_stats.get("planner.cache_misses"),
+        },
+    }
+
+
+def run_bench(repeat: int = 3) -> dict:
+    """Measure the fleet cell and return the JSON document."""
+    cell = run_cell(repeat=repeat)
+    return {
+        "benchmark": "planner",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "fleet": "Table 1 families (see bench.planner.FLEET)",
+            "repeat": repeat,
+        },
+        "cells": [cell],
+        "rendered": render_cell(cell),
+    }
+
+
+def render_cell(cell: dict) -> str:
+    """Compact ASCII summary of the single fleet cell."""
+    header = (
+        f"{'queries':>7} {'cold':>9} {'warm':>9} {'speedup':>8} "
+        f"{'nodes':>7} {'hits':>5} {'ok':>3}"
+    )
+    return "\n".join(
+        [
+            "Cold exact search vs warm persistent plan cache (Table 1 fleet)",
+            header,
+            "-" * len(header),
+            f"{cell['queries']:>7} "
+            f"{format_seconds(cell['cold_seconds']):>9} "
+            f"{format_seconds(cell['warm_seconds']):>9} "
+            f"{cell['amortized_speedup']:>7.2f}x "
+            f"{cell['cold']['search_nodes']:>7} "
+            f"{cell['warm']['cache_hits']:>5} "
+            f"{'ok' if cell['ok'] else 'BAD':>3}",
+        ]
+    )
+
+
+def check_against_baseline(
+    doc: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Gate: the warm cache must keep paying for itself.
+
+    Returns failure messages (empty = pass). A cell fails when warm and
+    cold plans disagree, when the warm arm did any search work or missed
+    the cache at all (the zero-search contract), when the amortization
+    fell below the 2x floor, or when it regressed more than
+    ``tolerance`` below the committed baseline's ratio.
+    """
+    base = {tuple(c["fleet"]): c for c in baseline.get("cells", [])}
+    failures: List[str] = []
+    for cell in doc["cells"]:
+        label = f"planner/{cell['queries']}q"
+        if not cell["ok"]:
+            failures.append(f"{label}: warm and cold plans disagree")
+            continue
+        if cell["warm"]["search_nodes"] != 0:
+            failures.append(
+                f"{label}: warm arm expanded "
+                f"{cell['warm']['search_nodes']} search nodes "
+                "(cache contract is exactly 0)"
+            )
+            continue
+        if cell["warm"]["cache_hits"] != cell["queries"]:
+            failures.append(
+                f"{label}: {cell['warm']['cache_hits']} cache hits for "
+                f"{cell['queries']} queries (every query must hit)"
+            )
+            continue
+        if cell["amortized_speedup"] < MIN_AMORTIZATION:
+            failures.append(
+                f"{label}: warm amortization {cell['amortized_speedup']:.2f}x "
+                f"below the {MIN_AMORTIZATION:.1f}x floor"
+            )
+            continue
+        ref = base.get(tuple(cell["fleet"]))
+        if ref is None:
+            continue  # new fleet composition; nothing to regress against
+        floor = ref["amortized_speedup"] * (1.0 - tolerance)
+        if cell["amortized_speedup"] < floor:
+            failures.append(
+                f"{label}: amortization {cell['amortized_speedup']:.2f}x "
+                f"regressed below {floor:.2f}x (baseline "
+                f"{ref['amortized_speedup']:.2f}x - {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.planner",
+        description="Exact-search vs plan-cache benchmark (JSON + gate)",
+    )
+    parser.add_argument("--out", default=None,
+                        help="write the measured JSON document here")
+    parser.add_argument("--check", action="store_true",
+                        help="regression-gate mode: compare vs --baseline")
+    parser.add_argument("--baseline", default="BENCH_planner.json",
+                        help="committed baseline JSON (check mode)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative amortization regression "
+                             "(default 0.15)")
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    doc = run_bench(repeat=args.repeat)
+    print(doc["rendered"])
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_against_baseline(doc, baseline, args.tolerance)
+        if failures:
+            print("\nplanner benchmark gate FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nplanner benchmark gate passed "
+              f"(tolerance {args.tolerance:.0%} vs {args.baseline})")
+        return 0
+
+    return 0 if all(c["ok"] for c in doc["cells"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

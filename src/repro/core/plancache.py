@@ -1,0 +1,224 @@
+"""Persistent on-disk plan cache: pay the decomposition search once.
+
+The planner's only data-independent cost is the minimum-width GHD
+search. This module persists its winners across processes in the style
+of ``.repro-lint-cache/``: one pickle file under ``.repro-plan-cache/``
+holding ``{digest: payload}`` entries, salted with the schema version
+and the Python minor version so either changing invalidates everything
+at once.
+
+**Key derivation.** The cache key is the *canonical hypergraph
+signature*: the multiset of per-edge attribute sets, i.e.
+``tuple(sorted(tuple(sorted(edge)) for edge in query))``. Unlike
+:func:`repro.core.planner.hypergraph_signature` — which keeps relation
+names because the batch executor shares *result rows* through it — the
+plan cache may ignore names entirely: widths and decompositions depend
+only on which attribute sets appear. Renaming every relation therefore
+hits the same entry (the metamorphic suite pins this). Attribute
+*names* are part of the key; α-renaming attributes is a different
+shape.
+
+**Payload.** Entries store plain data only — widths, the winning
+partitions as lists of canonical edge *indices*, the advisor verdict
+(algorithm + class strings). GHDs are rebuilt against the live query's
+hypergraph on lookup, so a cached plan can never leak object rows or
+live relation references into another process (the pickle-inspection
+test scans the bytes for exactly that). A corrupt or stale file is a
+silent miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .hypergraph import Hypergraph
+
+#: Bump when the payload shape or the partition encoding changes.
+SCHEMA_VERSION = 1
+
+#: Default cache directory, resolved against the working directory.
+DEFAULT_CACHE_DIR = ".repro-plan-cache"
+
+
+def plancache_salt() -> str:
+    """Digest salt covering everything besides the query shape."""
+    return (
+        f"schema={SCHEMA_VERSION}"
+        f"|py={sys.version_info[0]}.{sys.version_info[1]}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+def cache_key(hg: Hypergraph) -> Tuple[Tuple[str, ...], ...]:
+    """Renaming-invariant shape key: sorted per-edge attribute tuples."""
+    return tuple(sorted(tuple(sorted(hg.edge(n))) for n in hg.edge_names))
+
+
+def canonical_edge_names(hg: Hypergraph) -> List[str]:
+    """Edge names in canonical (attr-tuple, then name) order.
+
+    Position in this list is the edge id the cached partitions use. Two
+    edges with identical attribute sets tie-break by name — which is
+    *not* renaming-invariant, but such edges are interchangeable in any
+    decomposition (equal bags either way), so the rebuilt GHD is valid
+    regardless of which of them lands in which group.
+    """
+    return sorted(hg.edge_names, key=lambda n: (tuple(sorted(hg.edge(n))), n))
+
+
+def key_digest(key: Tuple[Tuple[str, ...], ...]) -> str:
+    """sha256 of the canonical key under the current salt."""
+    return hashlib.sha256(
+        (plancache_salt() + "\0" + repr(key)).encode("utf-8")
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# GHD <-> plain-data partition encoding
+# ----------------------------------------------------------------------
+def encode_partition(ghd) -> List[List[int]]:
+    """A GHD's home groups as lists of canonical edge indices."""
+    order = canonical_edge_names(ghd.query)
+    index = {name: i for i, name in enumerate(order)}
+    return [
+        sorted(index[name] for name in ghd.groups[bag]) for bag in ghd.bags
+    ]
+
+
+def decode_partition(hg: Hypergraph, partition: List[List[int]]):
+    """Rebuild a GHD from cached indices against a live hypergraph.
+
+    Returns ``None`` — a cache miss — when the encoded partition does
+    not describe ``hg`` (wrong arity, missing edges, or a bag
+    hypergraph that fails the GYO test): stale or corrupted entries
+    must degrade to a re-search, never an exception.
+    """
+    from ..nontemporal.ghd import ghd_from_partition
+
+    order = canonical_edge_names(hg)
+    try:
+        flat = sorted(i for group in partition for i in group)
+        if flat != list(range(len(order))):
+            return None
+        groups = [[order[i] for i in group] for group in partition]
+    except (TypeError, IndexError):
+        return None
+    return ghd_from_partition(hg, groups)
+
+
+def encode_entry(
+    fhtw: float,
+    fhtw_ghd,
+    hhtw: float,
+    hhtw_ghd,
+    algorithm: str,
+    query_class: str,
+) -> Dict:
+    """The plain-data payload stored per cache entry.
+
+    Widths, both winning partitions, and the advisor verdict (algorithm
+    and class strings, kept for inspection — the planner re-derives its
+    decision from the widths on every hit, so a stale verdict can never
+    steer execution).
+    """
+    return {
+        "fhtw": float(fhtw),
+        "fhtw_partition": encode_partition(fhtw_ghd),
+        "hhtw": float(hhtw),
+        "hhtw_partition": encode_partition(hhtw_ghd),
+        "algorithm": str(algorithm),
+        "query_class": str(query_class),
+    }
+
+
+def decode_entry(entry: Dict, hg: Hypergraph):
+    """``(fhtw, fhtw_ghd, hhtw, hhtw_ghd)`` from a payload, or ``None``.
+
+    Any malformed field — wrong types, partitions that do not rebuild
+    into valid GHDs over ``hg`` — turns the entry into a miss.
+    """
+    try:
+        f = float(entry["fhtw"])
+        h = float(entry["hhtw"])
+        fghd = decode_partition(hg, entry["fhtw_partition"])
+        hghd = decode_partition(hg, entry["hhtw_partition"])
+    except Exception:
+        return None
+    if fghd is None or hghd is None:
+        return None
+    return f, fghd, h, hghd
+
+
+# ----------------------------------------------------------------------
+# The persistent store
+# ----------------------------------------------------------------------
+class PlanCache:
+    """Load-once / save-on-store cache of decomposition search winners.
+
+    One pickle file maps key digests to plain-data payloads (see module
+    docstring). Loading tolerates *any* failure silently — an absent,
+    truncated, wrong-schema or wrong-salt file simply starts empty —
+    because a plan cache must never be able to take the planner down.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.path = os.path.join(root, "plans.pkl")
+        self._entries: Dict[str, Dict] = {}
+        self._dirty = False
+        self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                data = pickle.load(handle)
+        except Exception:  # corrupt/absent/unreadable: silent cold start
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("schema") != SCHEMA_VERSION:
+            return
+        if data.get("salt") != plancache_salt():
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        """Atomically persist (tmp + rename); no-op when clean."""
+        if not self._dirty:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "salt": plancache_salt(),
+                    "entries": self._entries,
+                },
+                handle,
+            )
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def lookup(self, digest: str) -> Optional[Dict]:
+        entry = self._entries.get(digest)
+        if not isinstance(entry, dict):
+            return None
+        return entry
+
+    def store(self, digest: str, payload: Dict) -> None:
+        self._entries[digest] = payload
+        self._dirty = True

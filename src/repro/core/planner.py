@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..obs import ExecutionStats
 from .classification import QueryClass, classify
+from .errors import QueryError
+from .plancache import PlanCache, cache_key, decode_entry, encode_entry, key_digest
 from .query import JoinQuery
 
 
@@ -46,6 +49,15 @@ class Plan:
     #: ``"object"`` otherwise. Same asymptotics either way — the engine
     #: is a constant-factor choice, never a plan-shape one.
     engine: str = "object"
+    #: False when a planner budget expired before the decomposition
+    #: search was exhausted: ``fhtw``/``hhtw`` are then the best-found
+    #: *upper bounds* (still achieved by the witnesses below).
+    optimal: bool = True
+    #: The winning decompositions (``repro.nontemporal.ghd.GHD``), kept
+    #: so the static verifier can re-check every searched GHD without
+    #: re-running the search. Untyped to avoid an import cycle.
+    fhtw_witness: Optional[object] = field(default=None, repr=False)
+    hhtw_witness: Optional[object] = field(default=None, repr=False)
 
     def explain(self) -> str:
         """Human-readable account of the decision, à la Table 1."""
@@ -58,6 +70,11 @@ class Plan:
             f"engine     : {self.engine}"
             + (" (interned columnar sweep)" if self.engine == "kernel" else ""),
         ]
+        if not self.optimal:
+            lines.append(
+                "optimal    : no (search budget exhausted; widths are "
+                "best-found upper bounds)"
+            )
         if self.alternatives:
             lines.append(f"also viable: {', '.join(self.alternatives)}")
         if self.guarded:
@@ -97,8 +114,72 @@ def hypergraph_signature(query: JoinQuery) -> Tuple:
     return plan_signature(query)[0]
 
 
-def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
+#: One :class:`PlanCache` instance per resolved directory, so repeated
+#: ``plan()`` calls under one process share a single load of the file.
+_CACHES: Dict[str, PlanCache] = {}
+
+
+def _resolve_cache(
+    cache: Union[None, str, PlanCache],
+) -> Optional[PlanCache]:
+    """``cache=`` / ``REPRO_PLAN_CACHE`` to a live :class:`PlanCache`."""
+    if cache is None:
+        cache = os.environ.get("REPRO_PLAN_CACHE") or None
+    if cache is None:
+        return None
+    if isinstance(cache, PlanCache):
+        return cache
+    path = os.path.abspath(cache)
+    obj = _CACHES.get(path)
+    if obj is None:
+        obj = PlanCache(path)
+        _CACHES[path] = obj
+    return obj
+
+
+def _resolve_budget(budget: Optional[int]) -> Optional[int]:
+    """``budget=`` / ``REPRO_PLANNER_BUDGET`` to a node count (or None)."""
+    if budget is not None:
+        return budget
+    raw = os.environ.get("REPRO_PLANNER_BUDGET")
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise QueryError(
+            f"REPRO_PLANNER_BUDGET must be an integer node count, got {raw!r}"
+        )
+
+
+def plan(
+    query: JoinQuery,
+    verify: Optional[bool] = None,
+    *,
+    search: Optional[str] = None,
+    budget: Optional[int] = None,
+    cache: Union[None, str, PlanCache] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> Plan:
     """Run the Figure 7 guideline on ``query`` (O(1) data complexity).
+
+    The width searches run through
+    :func:`repro.nontemporal.search.min_width_ghd`; ``search`` selects
+    the engine (``"exact"`` branch-and-bound by default, overridable via
+    ``REPRO_PLAN_SEARCH``) and ``budget`` caps its node count
+    (``REPRO_PLANNER_BUDGET``) — an exhausted budget degrades to the
+    best-found decomposition with ``Plan.optimal = False`` and a
+    ``planner.budget_exhausted`` note rather than failing.
+
+    ``cache`` (a directory path, a :class:`PlanCache`, or the
+    ``REPRO_PLAN_CACHE`` environment variable) adds a persistent lookup
+    in front of the search, keyed by the renaming-invariant canonical
+    hypergraph signature: a warm hit rebuilds the cached winning GHDs
+    and performs **zero** search nodes. Only proven-optimal results are
+    persisted. ``stats`` records ``planner.search_nodes``,
+    ``planner.lb_prunes``, ``planner.cache_hits`` /
+    ``planner.cache_misses`` (cache configured only) and the
+    ``phase.planner.search`` timer.
 
     With ``verify=True`` — or the ``REPRO_VERIFY_PLANS`` environment
     variable set to a non-empty value — the returned plan is passed
@@ -108,14 +189,62 @@ def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
     :class:`~repro.analysis.plans.PlanVerificationError`. The debug flag
     costs one extra width search per call, so it defaults to off.
     """
-    from ..nontemporal.ghd import fhtw, find_guarded_partition, hhtw
+    from ..nontemporal.ghd import find_guarded_partition
+    from ..nontemporal.search import min_width_ghd
 
-    qclass = classify(query.hypergraph)
+    if search is None:
+        search = os.environ.get("REPRO_PLAN_SEARCH") or "exact"
+    budget = _resolve_budget(budget)
+    cache_obj = _resolve_cache(cache)
+
     hg = query.hypergraph
-    f = fhtw(hg)
-    h = hhtw(hg)
+    qclass = classify(hg)
     guarded = find_guarded_partition(hg) is not None
     notes: List[str] = []
+
+    widths = None
+    digest = None
+    if cache_obj is not None:
+        digest = key_digest(cache_key(hg))
+        entry = cache_obj.lookup(digest)
+        if entry is not None:
+            widths = decode_entry(entry, hg)
+            if widths is not None and stats is not None:
+                stats.incr("planner.cache_hits")
+    optimal = True
+    store_entry = False
+    if widths is None:
+        if cache_obj is not None and stats is not None:
+            stats.incr("planner.cache_misses")
+        if stats is not None:
+            with stats.timer("phase.planner.search"):
+                fres = min_width_ghd(
+                    hg, hierarchical=False, search=search, budget=budget
+                )
+                hres = min_width_ghd(
+                    hg, hierarchical=True, search=search, budget=budget
+                )
+            stats.incr("planner.search_nodes", fres.nodes + hres.nodes)
+            stats.incr("planner.lb_prunes", fres.lb_prunes + hres.lb_prunes)
+        else:
+            fres = min_width_ghd(
+                hg, hierarchical=False, search=search, budget=budget
+            )
+            hres = min_width_ghd(
+                hg, hierarchical=True, search=search, budget=budget
+            )
+        widths = (fres.width, fres.ghd, hres.width, hres.ghd)
+        optimal = fres.optimal and hres.optimal
+        if not optimal:
+            reason = fres.reason or hres.reason or "search budget exhausted"
+            notes.append(
+                f"decomposition search incomplete ({reason}); widths are "
+                "best-found upper bounds"
+            )
+            if stats is not None:
+                stats.note("planner.budget_exhausted", reason)
+        store_entry = cache_obj is not None and optimal
+    f, fghd, h, hghd = widths
 
     if qclass in (QueryClass.HIERARCHICAL, QueryClass.R_HIERARCHICAL):
         algorithm = "timefirst"
@@ -165,7 +294,16 @@ def plan(query: JoinQuery, verify: Optional[bool] = None) -> Plan:
         guarded=guarded,
         notes=notes,
         engine="kernel" if supports_kernel(algorithm) else "object",
+        optimal=optimal,
+        fhtw_witness=fghd,
+        hhtw_witness=hghd,
     )
+    if store_entry:
+        cache_obj.store(
+            digest,
+            encode_entry(f, fghd, h, hghd, algorithm, qclass.value),
+        )
+        cache_obj.save()
     if verify is None:
         verify = bool(os.environ.get("REPRO_VERIFY_PLANS"))
     if verify:

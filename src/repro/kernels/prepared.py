@@ -94,6 +94,7 @@ class PreparedDatabase:
         database: Database,
         columns: KernelColumns,
         build_seconds: float = 0.0,
+        plan_cache=None,
     ) -> None:
         self.database = database
         self.columns = columns
@@ -101,6 +102,9 @@ class PreparedDatabase:
         self._views: Dict[Number, KernelColumns] = {}
         self._restrictions: Dict[Tuple, KernelColumns] = {}
         self._plans: Dict[Tuple, Plan] = {}
+        #: Optional persistent :class:`repro.core.plancache.PlanCache`
+        #: (or directory path) consulted on in-memory plan-cache misses.
+        self.plan_cache = plan_cache
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -195,7 +199,13 @@ class PreparedDatabase:
     def cached_plan(
         self, query: JoinQuery, stats: Optional[ExecutionStats] = None
     ) -> Plan:
-        """Figure-7 plan for ``query``, cached by shape signature."""
+        """Figure-7 plan for ``query``, cached by shape signature.
+
+        In-memory misses fall through to the planner with this
+        artifact's persistent :attr:`plan_cache` (when configured), so a
+        template fleet pays the decomposition search at most once per
+        shape *across* processes, not just within one.
+        """
         key = plan_signature(query)
         cached = self._plans.get(key)
         if cached is not None:
@@ -204,25 +214,32 @@ class PreparedDatabase:
             return cached
         if stats is not None:
             stats.incr("prepared.plan_cache_misses")
-        cached = plan(query)
+        cached = plan(query, cache=self.plan_cache, stats=stats)
         self._plans[key] = cached
         return cached
 
 
 def prepare(
-    database: Database, stats: Optional[ExecutionStats] = None
+    database: Database,
+    stats: Optional[ExecutionStats] = None,
+    plan_cache=None,
 ) -> PreparedDatabase:
     """Build the reusable columnar artifact for ``database`` — once.
 
     Interns values, rank-compresses endpoints and sorts the event-code
     stream exactly once (``kernel.sort_calls`` +1); every subsequent
     ``temporal_join(..., prepared=...)`` or :func:`run_batch` call over
-    the artifact skips all three.
+    the artifact skips all three. ``plan_cache`` (a
+    :class:`repro.core.plancache.PlanCache` or directory path) makes the
+    artifact's plan cache persistent across processes.
     """
     start = time.perf_counter()
     columns = build_columns(database, stats=stats)
     return PreparedDatabase(
-        database, columns, build_seconds=time.perf_counter() - start
+        database,
+        columns,
+        build_seconds=time.perf_counter() - start,
+        plan_cache=plan_cache,
     )
 
 

@@ -24,9 +24,17 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.classification import is_hierarchical
-from ..core.errors import PlanError
+from ..core.errors import PlanError, QueryError
 from ..core.hypergraph import Hypergraph, verify_join_tree
 from .cover import rho
+
+#: Hard ceiling on the edge count :func:`enumerate_partition_ghds` will
+#: exhaustively scan. Bell(8) = 4140 partitions is still interactive;
+#: Bell(12) ≈ 4.2 million each needing a GYO pass is a hang. Larger
+#: queries must use the branch-and-bound engine
+#: (:func:`repro.nontemporal.search.exact_ghd_search`), which the width
+#: functions select by default.
+MAX_ENUMERATION_EDGES = 8
 
 
 @dataclass
@@ -150,8 +158,20 @@ def trivial_ghd(hg: Hypergraph) -> GHD:
 
 
 def _set_partitions(items: List[str]) -> Iterable[List[List[str]]]:
-    """All partitions of ``items`` (restricted growth strings)."""
+    """All partitions of ``items`` (restricted growth strings).
+
+    Refuses more than :data:`MAX_ENUMERATION_EDGES` items — the partition
+    count is the Bell number of ``len(items)``, which passes 4 million at
+    12 items; callers needing larger queries use the branch-and-bound
+    search instead of exhaustion.
+    """
     n = len(items)
+    if n > MAX_ENUMERATION_EDGES:
+        raise QueryError(
+            f"refusing to enumerate the {n}-edge partition lattice "
+            f"(Bell-number blowup past {MAX_ENUMERATION_EDGES} edges); "
+            "use search='exact' (branch-and-bound) instead"
+        )
     if n == 0:
         yield []
         return
@@ -172,11 +192,26 @@ def _set_partitions(items: List[str]) -> Iterable[List[List[str]]]:
 
 
 def enumerate_partition_ghds(hg: Hypergraph) -> Iterable[GHD]:
-    """All partition-derived GHDs of a (constant-size) query."""
-    for partition in _set_partitions(list(hg.edge_names)):
-        ghd = ghd_from_partition(hg, partition)
-        if ghd is not None:
-            yield ghd
+    """All partition-derived GHDs of a (constant-size) query.
+
+    Raises :class:`QueryError` *eagerly* (not on first iteration) when
+    the query exceeds :data:`MAX_ENUMERATION_EDGES` edges.
+    """
+    if len(hg.edge_names) > MAX_ENUMERATION_EDGES:
+        raise QueryError(
+            f"refusing to enumerate partition GHDs of a "
+            f"{len(hg.edge_names)}-edge query (Bell-number blowup past "
+            f"{MAX_ENUMERATION_EDGES} edges); use search='exact' "
+            "(branch-and-bound) instead"
+        )
+
+    def _iter() -> Iterable[GHD]:
+        for partition in _set_partitions(list(hg.edge_names)):
+            ghd = ghd_from_partition(hg, partition)
+            if ghd is not None:
+                yield ghd
+
+    return _iter()
 
 
 def _ghd_rank(ghd: GHD) -> Tuple[float, int, int, int]:
@@ -192,53 +227,41 @@ def _ghd_rank(ghd: GHD) -> Tuple[float, int, int, int]:
     return (ghd.width(), max(arities), sum(arities), -len(arities))
 
 
-import functools
-
-
-@functools.lru_cache(maxsize=512)
-def fhtw_ghd(hg: Hypergraph) -> Tuple[float, GHD]:
+def fhtw_ghd(hg: Hypergraph, search: str = "exact") -> Tuple[float, GHD]:
     """Minimum-width partition GHD — the fhtw decomposition.
 
-    Ties prefer fewer bags (cheaper sweeps) then the trivial GHD.
-    Cached per hypergraph structure; treat the returned GHD as read-only.
+    Ties prefer fewer bags (cheaper sweeps) then the trivial GHD; the
+    branch-and-bound default reproduces the exhaustive enumeration's
+    winner exactly (see :mod:`repro.nontemporal.search`). Completed
+    results are memoized per hypergraph structure; treat the returned
+    GHD as read-only.
     """
-    best = None
-    for ghd in enumerate_partition_ghds(hg):
-        key = _ghd_rank(ghd)
-        if best is None or key < best[0]:
-            best = (key, ghd)
-    if best is None:  # pragma: no cover - a single-bag partition always works
-        raise PlanError(f"no GHD found for {hg!r}")
-    return best[0][0], best[1]
+    from .search import min_width_ghd
+
+    result = min_width_ghd(hg, hierarchical=False, search=search)
+    return result.width, result.ghd
 
 
-@functools.lru_cache(maxsize=512)
-def hhtw_ghd(hg: Hypergraph) -> Tuple[float, GHD]:
+def hhtw_ghd(hg: Hypergraph, search: str = "exact") -> Tuple[float, GHD]:
     """Minimum-width *hierarchical* partition GHD (Definition 11).
 
     A single-bag decomposition is trivially hierarchical, so this always
     exists; its width is then ρ(Q).
     """
-    best = None
-    for ghd in enumerate_partition_ghds(hg):
-        if not ghd.is_hierarchical():
-            continue
-        key = _ghd_rank(ghd)
-        if best is None or key < best[0]:
-            best = (key, ghd)
-    if best is None:  # pragma: no cover
-        raise PlanError(f"no hierarchical GHD found for {hg!r}")
-    return best[0][0], best[1]
+    from .search import min_width_ghd
+
+    result = min_width_ghd(hg, hierarchical=True, search=search)
+    return result.width, result.ghd
 
 
-def fhtw(hg: Hypergraph) -> float:
+def fhtw(hg: Hypergraph, search: str = "exact") -> float:
     """Fractional hypertree width (over partition GHDs)."""
-    return fhtw_ghd(hg)[0]
+    return fhtw_ghd(hg, search=search)[0]
 
 
-def hhtw(hg: Hypergraph) -> float:
+def hhtw(hg: Hypergraph, search: str = "exact") -> float:
     """Hierarchical hypertree width (over partition GHDs)."""
-    return hhtw_ghd(hg)[0]
+    return hhtw_ghd(hg, search=search)[0]
 
 
 # ----------------------------------------------------------------------

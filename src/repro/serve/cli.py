@@ -105,6 +105,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "offline temporal_join")
     parser.add_argument("--stats", action="store_true",
                         help="print the merged serve.* telemetry")
+    parser.add_argument("--plan-cache", default=None, metavar="DIR",
+                        help="persistent plan-cache directory backing the "
+                             "fleet's template dedup (created on first use)")
     args = parser.parse_args(argv)
 
     try:
@@ -121,7 +124,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           "distinct templates, one shared ingest pass")
     print()
 
-    service = TemporalJoinService()
+    service = TemporalJoinService(plan_cache=args.plan_cache)
     handles = []
     for name, query, tau in fleet:
         handles.append(

@@ -110,11 +110,16 @@ class TemporalJoinService:
         self,
         strict: bool = True,
         stats: Optional[ExecutionStats] = None,
+        plan_cache=None,
     ) -> None:
         self.stats = stats if stats is not None else ExecutionStats()
         self.broker = StreamBroker(strict=strict, stats=self.stats)
         self._handles: Dict[str, Tuple[Tuple, StandingQuery]] = {}
         self._plans: Dict[Tuple, Plan] = {}
+        #: Optional persistent :class:`repro.core.plancache.PlanCache`
+        #: (or directory path) behind the in-memory template dedup, so a
+        #: restarted service re-registers its fleet without re-searching.
+        self.plan_cache = plan_cache
         self._names = itertools.count(1)
         self._ingest_started = False
 
@@ -157,7 +162,9 @@ class TemporalJoinService:
             self.stats.incr("serve.plan_cache_hits")
         else:
             self.stats.incr("serve.plan_cache_misses")
-            self._plans[sig] = plan(query)
+            self._plans[sig] = plan(
+                query, cache=self.plan_cache, stats=self.stats
+            )
         handle = StandingQuery(
             name,
             query,

@@ -1,0 +1,131 @@
+"""Tests for the bench-planner entry point and its regression gate."""
+
+import json
+
+from repro.bench.planner import (
+    FLEET,
+    MIN_AMORTIZATION,
+    check_against_baseline,
+    main,
+    run_bench,
+)
+
+
+def _tiny_doc():
+    return run_bench(repeat=1)
+
+
+def _pinned_doc():
+    # Gate-logic tests compare ratios, not machines: pin the measured
+    # amortization so timing noise cannot change which rule fires.
+    doc = _tiny_doc()
+    for cell in doc["cells"]:
+        cell["amortized_speedup"] = 20.0
+    return doc
+
+
+class TestRunBench:
+    def test_document_shape(self):
+        doc = _tiny_doc()
+        assert doc["benchmark"] == "planner"
+        (cell,) = doc["cells"]
+        assert cell["ok"], cell
+        assert cell["queries"] == len(FLEET)
+        assert cell["fleet"] == [name for name, _ in FLEET]
+        assert cell["cold_seconds"] > 0
+        assert cell["warm_seconds"] > 0
+        # The cache contract the gate enforces, measured for real here:
+        # the warm arm searches nothing and hits on every query.
+        assert cell["cold"]["search_nodes"] > 0
+        assert cell["warm"]["search_nodes"] == 0
+        assert cell["warm"]["cache_hits"] == len(FLEET)
+        assert cell["warm"]["cache_misses"] == 0
+        assert "speedup" in doc["rendered"]
+
+    def test_fleet_widths_are_the_table_one_anchors(self):
+        doc = _tiny_doc()
+        widths = doc["cells"][0]["widths"]
+        assert widths["triangle"]["fhtw"] == 1.5
+        assert widths["triangle"]["hhtw"] == 1.5
+        assert widths["cycle4"]["fhtw"] == 2.0
+        assert widths["line3"]["fhtw"] == 1.0
+        assert widths["line3"]["hhtw"] == 2.0
+        assert widths["hier"]["hhtw"] == 1.0
+
+
+class TestGate:
+    def test_passes_against_itself(self):
+        doc = _pinned_doc()
+        assert check_against_baseline(doc, doc, tolerance=0.15) == []
+
+    def test_flags_regression_beyond_tolerance(self):
+        doc = _pinned_doc()
+        inflated = json.loads(json.dumps(doc))
+        for cell in inflated["cells"]:
+            cell["amortized_speedup"] *= 10
+        failures = check_against_baseline(doc, inflated, tolerance=0.15)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_flags_amortization_below_floor(self):
+        doc = _pinned_doc()
+        slow = json.loads(json.dumps(doc))
+        slow["cells"][0]["amortized_speedup"] = MIN_AMORTIZATION / 2
+        failures = check_against_baseline(slow, doc, tolerance=0.15)
+        assert any("floor" in f for f in failures)
+
+    def test_flags_warm_search_work(self):
+        doc = _pinned_doc()
+        dirty = json.loads(json.dumps(doc))
+        dirty["cells"][0]["warm"]["search_nodes"] = 7
+        failures = check_against_baseline(dirty, doc, tolerance=0.15)
+        assert any("cache contract" in f for f in failures)
+
+    def test_flags_missed_hits(self):
+        doc = _pinned_doc()
+        missed = json.loads(json.dumps(doc))
+        missed["cells"][0]["warm"]["cache_hits"] -= 1
+        failures = check_against_baseline(missed, doc, tolerance=0.15)
+        assert any("must hit" in f for f in failures)
+
+    def test_flags_plan_disagreement(self):
+        doc = _pinned_doc()
+        bad = json.loads(json.dumps(doc))
+        bad["cells"][0]["ok"] = False
+        failures = check_against_baseline(bad, doc, tolerance=0.15)
+        assert any("disagree" in f for f in failures)
+
+    def test_new_fleet_has_nothing_to_regress_against(self):
+        doc = _pinned_doc()
+        assert check_against_baseline(doc, {"cells": []}) == []
+
+
+class TestMain:
+    def test_writes_json_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_planner.json"
+        rc = main(["--out", str(out), "--repeat", "1"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "planner"
+        assert "plan cache" in capsys.readouterr().out
+
+    def test_check_mode_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(["--out", str(baseline), "--repeat", "1"])
+        assert rc == 0
+        # Generous tolerance: exercises the round-trip mechanics, not
+        # run-to-run timing stability at repeat=1.
+        rc = main([
+            "--check", "--baseline", str(baseline),
+            "--repeat", "1", "--tolerance", "0.9",
+        ])
+        assert rc == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_check_mode_missing_baseline(self, tmp_path, capsys):
+        rc = main([
+            "--check", "--baseline", str(tmp_path / "nope.json"),
+            "--repeat", "1",
+        ])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().out

@@ -1,0 +1,328 @@
+"""Lifecycle tests for the persistent plan cache (``repro.core.plancache``),
+mirroring the ``.repro-lint-cache`` suite: round-trips across instances,
+silent tolerance of corruption, schema/salt invalidation, and a
+pickle-inspection proof that entries are plain data — no object rows, no
+``Relation`` references, nothing importing ``repro`` at unpickle time."""
+
+import os
+import pickle
+import pickletools
+
+import pytest
+
+from repro.core.planner import _CACHES, plan
+from repro.core.plancache import (
+    DEFAULT_CACHE_DIR,
+    PlanCache,
+    SCHEMA_VERSION,
+    cache_key,
+    canonical_edge_names,
+    decode_entry,
+    decode_partition,
+    encode_entry,
+    encode_partition,
+    key_digest,
+    plancache_salt,
+)
+from repro.core.query import JoinQuery
+from repro.nontemporal.ghd import fhtw_ghd, hhtw_ghd
+from repro.nontemporal.search import clear_search_memo
+from repro.obs import ExecutionStats
+
+
+@pytest.fixture(autouse=True)
+def fresh_planner_state():
+    clear_search_memo()
+    _CACHES.clear()
+    yield
+    clear_search_memo()
+    _CACHES.clear()
+
+
+def _entry_for(query):
+    hg = query.hypergraph
+    f, fghd = fhtw_ghd(hg)
+    h, hghd = hhtw_ghd(hg)
+    return encode_entry(f, fghd, h, hghd, "hybrid", "cyclic")
+
+
+# ----------------------------------------------------------------------
+# Encoding round-trips
+# ----------------------------------------------------------------------
+class TestEncoding:
+    def test_partition_round_trip(self):
+        query = JoinQuery.cycle(4)
+        hg = query.hypergraph
+        _, ghd = fhtw_ghd(hg)
+        encoded = encode_partition(ghd)
+        rebuilt = decode_partition(hg, encoded)
+        assert rebuilt is not None
+        assert rebuilt.width() == ghd.width()
+        assert {frozenset(g) for g in rebuilt.groups.values()} == {
+            frozenset(g) for g in ghd.groups.values()
+        }
+
+    def test_decode_rejects_wrong_index_sets(self):
+        hg = JoinQuery.triangle().hypergraph
+        assert decode_partition(hg, [[0, 1]]) is None  # missing edge 2
+        assert decode_partition(hg, [[0, 1, 2, 3]]) is None  # extra index
+        assert decode_partition(hg, [[0, 1], [1, 2]]) is None  # duplicate
+        assert decode_partition(hg, "nonsense") is None
+
+    def test_entry_round_trip(self):
+        query = JoinQuery.cycle(4)
+        entry = _entry_for(query)
+        decoded = decode_entry(entry, query.hypergraph)
+        assert decoded is not None
+        f, fghd, h, hghd = decoded
+        assert f == entry["fhtw"]
+        assert h == entry["hhtw"]
+        assert fghd.is_valid()
+        assert hghd.is_valid()
+        assert hghd.is_hierarchical()
+
+    def test_decode_entry_tolerates_garbage(self):
+        hg = JoinQuery.triangle().hypergraph
+        assert decode_entry({}, hg) is None
+        assert decode_entry({"fhtw": "wide"}, hg) is None
+        entry = _entry_for(JoinQuery.triangle())
+        stale = dict(entry, fhtw_partition=[[0, 1, 2, 3, 4]])
+        assert decode_entry(stale, hg) is None
+
+    def test_key_is_renaming_invariant_and_name_order_free(self):
+        base = JoinQuery.cycle(4)
+        renamed = JoinQuery(
+            {f"Z{i}": base.edge(n) for i, n in enumerate(base.edge_names)}
+        )
+        assert cache_key(base.hypergraph) == cache_key(renamed.hypergraph)
+        assert key_digest(cache_key(base.hypergraph)) == key_digest(
+            cache_key(renamed.hypergraph)
+        )
+        # A different shape keys differently.
+        assert cache_key(JoinQuery.triangle().hypergraph) != cache_key(
+            base.hypergraph
+        )
+
+    def test_canonical_edge_order_ignores_names(self):
+        base = JoinQuery.line(3)
+        renamed = JoinQuery(
+            {f"Z{i}": base.edge(n) for i, n in enumerate(base.edge_names)}
+        )
+        base_attrs = [
+            tuple(sorted(base.hypergraph.edge(n)))
+            for n in canonical_edge_names(base.hypergraph)
+        ]
+        renamed_attrs = [
+            tuple(sorted(renamed.hypergraph.edge(n)))
+            for n in canonical_edge_names(renamed.hypergraph)
+        ]
+        assert base_attrs == renamed_attrs
+
+    def test_digest_depends_on_salt(self, monkeypatch):
+        key = cache_key(JoinQuery.triangle().hypergraph)
+        before = key_digest(key)
+        monkeypatch.setattr(
+            "repro.core.plancache.plancache_salt", lambda: "other-salt"
+        )
+        assert key_digest(key) != before
+
+
+# ----------------------------------------------------------------------
+# On-disk lifecycle
+# ----------------------------------------------------------------------
+class TestCacheLifecycle:
+    def test_round_trip_across_instances(self, tmp_path):
+        root = str(tmp_path / "plans")
+        query = JoinQuery.cycle(4)
+        digest = key_digest(cache_key(query.hypergraph))
+        first = PlanCache(root)
+        assert first.lookup(digest) is None
+        first.store(digest, _entry_for(query))
+        first.save()
+        assert os.path.exists(os.path.join(root, "plans.pkl"))
+
+        second = PlanCache(root)
+        assert len(second) == 1
+        entry = second.lookup(digest)
+        assert entry is not None
+        assert decode_entry(entry, query.hypergraph) is not None
+
+    def test_save_without_store_writes_nothing(self, tmp_path):
+        root = str(tmp_path / "plans")
+        PlanCache(root).save()
+        assert not os.path.exists(os.path.join(root, "plans.pkl"))
+
+    def test_corrupt_file_is_a_silent_cold_start(self, tmp_path):
+        root = str(tmp_path / "plans")
+        cache = PlanCache(root)
+        cache.store("d", {"fhtw": 1.0})
+        cache.save()
+        with open(os.path.join(root, "plans.pkl"), "wb") as handle:
+            handle.write(b"{not a pickle")
+        assert len(PlanCache(root)) == 0
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        root = str(tmp_path / "plans")
+        cache = PlanCache(root)
+        cache.store("d", {"fhtw": 1.0})
+        cache.save()
+        path = os.path.join(root, "plans.pkl")
+        with open(path, "rb") as handle:
+            data = pickle.load(handle)
+        data["schema"] = SCHEMA_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(data, handle)
+        assert len(PlanCache(root)) == 0
+
+    def test_salt_change_invalidates(self, tmp_path):
+        root = str(tmp_path / "plans")
+        cache = PlanCache(root)
+        cache.store("d", {"fhtw": 1.0})
+        cache.save()
+        path = os.path.join(root, "plans.pkl")
+        with open(path, "rb") as handle:
+            data = pickle.load(handle)
+        assert data["salt"] == plancache_salt()
+        data["salt"] = "schema=0|py=0.0"
+        with open(path, "wb") as handle:
+            pickle.dump(data, handle)
+        assert len(PlanCache(root)) == 0
+
+    def test_default_root_is_repro_plan_cache(self):
+        assert DEFAULT_CACHE_DIR == ".repro-plan-cache"
+        assert PlanCache().root == DEFAULT_CACHE_DIR
+
+
+# ----------------------------------------------------------------------
+# Payload hygiene: plain data only, provably
+# ----------------------------------------------------------------------
+class TestPayloadHygiene:
+    def test_pickle_contains_no_object_references(self, tmp_path):
+        # The contract the module docstring makes: unpickling a plan
+        # cache must never import repro, reconstruct a Relation, or
+        # carry tuple rows. GLOBAL/STACK_GLOBAL opcodes are how pickle
+        # references classes — a plain-data payload has none at all.
+        root = str(tmp_path / "plans")
+        query = JoinQuery.cycle(4)
+        cache = PlanCache(root)
+        cache.store(key_digest(cache_key(query.hypergraph)), _entry_for(query))
+        cache.save()
+        raw = open(os.path.join(root, "plans.pkl"), "rb").read()
+        assert b"repro" not in raw
+        assert b"Relation" not in raw
+        assert b"GHD" not in raw
+        for opcode, _, _ in pickletools.genops(raw):
+            assert opcode.name not in (
+                "GLOBAL",
+                "STACK_GLOBAL",
+                "REDUCE",
+                "BUILD",
+                "INST",
+                "OBJ",
+                "NEWOBJ",
+                "NEWOBJ_EX",
+            )
+
+    def test_entry_values_are_builtin_types(self):
+        entry = _entry_for(JoinQuery.bowtie())
+        assert set(entry) == {
+            "fhtw",
+            "fhtw_partition",
+            "hhtw",
+            "hhtw_partition",
+            "algorithm",
+            "query_class",
+        }
+        assert isinstance(entry["fhtw"], float)
+        assert isinstance(entry["hhtw"], float)
+        assert isinstance(entry["algorithm"], str)
+        assert isinstance(entry["query_class"], str)
+        for partition in (entry["fhtw_partition"], entry["hhtw_partition"]):
+            assert isinstance(partition, list)
+            for group in partition:
+                assert isinstance(group, list)
+                assert all(isinstance(i, int) for i in group)
+
+
+# ----------------------------------------------------------------------
+# Through the planner: the acceptance pins
+# ----------------------------------------------------------------------
+class TestPlannerIntegration:
+    def test_warm_plan_performs_zero_search_nodes(self, tmp_path):
+        # The headline acceptance pin: after one cold plan(), a second
+        # process (simulated by clearing the in-memory memo and the
+        # cache singleton) answers entirely from disk.
+        root = str(tmp_path / "plans")
+        query = JoinQuery.cycle(4)
+
+        cold = ExecutionStats()
+        before = plan(query, cache=root, stats=cold)
+        assert cold.get("planner.cache_misses") == 1
+        assert cold.get("planner.search_nodes") > 0
+
+        clear_search_memo()
+        _CACHES.clear()
+        warm = ExecutionStats()
+        after = plan(query, cache=root, stats=warm)
+        assert warm.get("planner.cache_hits") == 1
+        assert warm.get("planner.cache_misses") == 0
+        assert warm.get("planner.search_nodes") == 0
+        assert "phase.planner.search" not in warm.timers
+
+        assert after.fhtw == before.fhtw
+        assert after.hhtw == before.hhtw
+        assert after.algorithm == before.algorithm
+        assert after.exponent == before.exponent
+        assert after.optimal
+        assert after.fhtw_witness.is_valid()
+        assert after.hhtw_witness.is_hierarchical()
+
+    def test_plan_cache_object_can_be_passed_directly(self, tmp_path):
+        cache = PlanCache(str(tmp_path / "plans"))
+        query = JoinQuery.triangle()
+        plan(query, cache=cache)
+        assert len(cache) == 1
+        clear_search_memo()
+        stats = ExecutionStats()
+        plan(query, cache=cache, stats=stats)
+        assert stats.get("planner.cache_hits") == 1
+
+    def test_env_var_configures_the_cache(self, tmp_path, monkeypatch):
+        root = str(tmp_path / "plans")
+        monkeypatch.setenv("REPRO_PLAN_CACHE", root)
+        stats = ExecutionStats()
+        plan(JoinQuery.cycle(4), stats=stats)
+        assert stats.get("planner.cache_misses") == 1
+        assert os.path.exists(os.path.join(root, "plans.pkl"))
+
+    def test_non_optimal_plans_are_not_persisted(self, tmp_path):
+        cache = PlanCache(str(tmp_path / "plans"))
+        degraded = plan(JoinQuery.cycle(4), budget=1, cache=cache)
+        assert degraded.optimal is False
+        assert len(cache) == 0
+        # A later unbudgeted plan stores the proven-optimal entry.
+        clear_search_memo()
+        full = plan(JoinQuery.cycle(4), cache=cache)
+        assert full.optimal
+        assert len(cache) == 1
+
+    def test_corrupted_entry_degrades_to_research(self, tmp_path):
+        root = str(tmp_path / "plans")
+        query = JoinQuery.cycle(4)
+        plan(query, cache=root)
+        _CACHES.clear()
+        clear_search_memo()
+        # Poison the stored partition in place: lookup succeeds but
+        # decode fails, so the planner silently re-searches and the
+        # stats record a miss, not a hit.
+        cache = PlanCache(root)
+        digest = key_digest(cache_key(query.hypergraph))
+        entry = dict(cache.lookup(digest))
+        entry["fhtw_partition"] = [[99]]
+        cache.store(digest, entry)
+        stats = ExecutionStats()
+        repaired = plan(query, cache=cache, stats=stats)
+        assert stats.get("planner.cache_hits") == 0
+        assert stats.get("planner.cache_misses") == 1
+        assert repaired.optimal
+        assert decode_entry(cache.lookup(digest), query.hypergraph) is not None

@@ -118,8 +118,8 @@ class TestAutoFallback:
         db = random_database(q, rng, n=8, domain=3)
         real_plan = planner.plan
 
-        def forced_plan(query):
-            choice = real_plan(query)
+        def forced_plan(query, **kwargs):
+            choice = real_plan(query, **kwargs)
             object.__setattr__(choice, "algorithm", "hybrid-interval")
             return choice
 
@@ -138,8 +138,8 @@ class TestAutoFallback:
         db = random_database(q, rng, n=8, domain=3)
         real_plan = planner.plan
 
-        def forced_plan(query):
-            choice = real_plan(query)
+        def forced_plan(query, **kwargs):
+            choice = real_plan(query, **kwargs)
             object.__setattr__(choice, "algorithm", "hybrid-interval")
             return choice
 
